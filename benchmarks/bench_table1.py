@@ -1,0 +1,34 @@
+"""Table 1 — section extraction over the whole test bed.
+
+Paper numbers (1190 pages, 119 engines)::
+
+            #Actual  #Extr  #Perf  #Part  RecPerf  RecTot  PrecPerf  PrecTot
+    S pgs      1057   1106    899    136     85.0    97.9      81.3     93.6
+    T pgs       981   1028    820    134     83.6    97.2      79.8     92.8
+    Total      2038   2134   1719    270     84.3    97.6      80.6     93.2
+
+The benchmark times one full engine evaluation (wrapper induction from 5
+sample pages + extraction/grading of all 10 pages); the printed table is
+the regenerated Table 1 over the selected corpus subset.
+"""
+
+from repro.evalkit.harness import evaluate_engine, run_evaluation
+from repro.evalkit.report import render_section_table
+from repro.testbed import load_engine_pages
+
+
+def test_table1_section_extraction(benchmark, eval_limits):
+    limit_all, _ = eval_limits
+    run = run_evaluation("all", limit=limit_all)
+    print()
+    print(render_section_table(run.rows, "Table 1. Section extraction (all engines)"))
+
+    engine_pages = load_engine_pages(0)
+    result = benchmark(evaluate_engine, engine_pages)
+    assert result.rows.total_sections.actual > 0
+    total = run.rows.total_sections
+    # Shape assertions against the paper: high total recall, precision
+    # below recall, perfect below total.
+    assert total.recall_total >= 0.85
+    assert total.recall_perfect <= total.recall_total
+    assert total.precision_perfect <= total.precision_total

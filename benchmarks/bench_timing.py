@@ -1,0 +1,57 @@
+"""§6 timing claims.
+
+"On a laptop with a Pentium M 1.3G processor, the system can construct
+section wrappers for a search engine with 5 sample pages in 20 to 50
+seconds.  Once the wrappers are built, the section and record extraction
+from a new result page can be done in a small fraction of a second."
+
+Absolute numbers are hardware-bound; the reproducible shape is the ratio:
+wrapper construction is orders of magnitude slower than applying the
+wrapper to one page.
+"""
+
+import statistics
+import time
+
+from repro.core.mse import build_wrapper
+from repro.testbed import load_engine_pages
+
+ENGINE_ID = 85  # a multi-section engine (harder induction)
+
+
+def test_wrapper_construction_time(benchmark):
+    engine_pages = load_engine_pages(ENGINE_ID)
+    wrapper = benchmark(build_wrapper, engine_pages.sample_set)
+    assert wrapper.wrappers
+
+
+def test_extraction_time(benchmark):
+    engine_pages = load_engine_pages(ENGINE_ID)
+    wrapper = build_wrapper(engine_pages.sample_set)
+    markup, query = engine_pages.test_set[0]
+    extraction = benchmark(wrapper.extract, markup, query)
+    assert len(extraction) >= 1
+
+
+def test_construction_vs_extraction_ratio():
+    engine_pages = load_engine_pages(ENGINE_ID)
+
+    start = time.perf_counter()
+    wrapper = build_wrapper(engine_pages.sample_set)
+    build_seconds = time.perf_counter() - start
+
+    samples = []
+    for markup, query in engine_pages.test_set:
+        start = time.perf_counter()
+        wrapper.extract(markup, query)
+        samples.append(time.perf_counter() - start)
+    extract_seconds = statistics.mean(samples)
+
+    print()
+    print(
+        f"wrapper construction: {build_seconds * 1000:.1f} ms; "
+        f"extraction per page: {extract_seconds * 1000:.2f} ms; "
+        f"ratio {build_seconds / extract_seconds:.1f}x"
+    )
+    # The paper's shape: induction dominates per-page extraction.
+    assert build_seconds > extract_seconds

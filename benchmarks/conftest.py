@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+By default the benches run on a corpus subset so ``pytest benchmarks/
+--benchmark-only`` finishes quickly; set ``REPRO_FULL_EVAL=1`` to
+regenerate the tables over the full 119-engine corpus (as EXPERIMENTS.md
+does).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL_EVAL", "") == "1"
+
+#: engines per subset in quick mode
+QUICK_ALL = 16
+QUICK_MULTI = 8
+
+
+@pytest.fixture(scope="session")
+def eval_limits():
+    """(all-engines limit, multi-engines limit); None = full corpus."""
+    if FULL:
+        return None, None
+    return QUICK_ALL, QUICK_MULTI

@@ -1,0 +1,82 @@
+"""Hidden sections: the §5.8 section-family mechanism in action.
+
+Dynamic sections are query dependent — a section schema may have *no
+instance* on any sample page and still appear later.  Plain per-schema
+wrappers can never extract it; a section family (schemas sharing
+structure, distinguished by boundary-marker text attributes) can.
+
+This example trains on pages where only "Web" and "News" ever appear,
+then extracts a page where a never-seen "Images" section shows up.
+
+Run:  python examples/hidden_sections.py
+"""
+
+from repro import build_wrapper
+
+
+def result_page(query: str, sections: dict) -> str:
+    parts = [
+        "<html><body><h1>FamilyDemo</h1>",
+        f"<p>Results for <b>{query}</b></p>",
+    ]
+    for topic, titles in sections.items():
+        if not titles:
+            continue
+        parts.append(f"<h3>{topic}</h3><ul>")
+        for title in titles:
+            parts.append(
+                f'<li><a href="/d/{title[:6]}">{title}</a><br>'
+                f"About {title.lower()} and {query}.</li>"
+            )
+        parts.append("</ul>")
+    parts.append("<hr><small>Copyright 2006</small></body></html>")
+    return "".join(parts)
+
+
+def titles(topic: str, query: str, n: int) -> list:
+    pool = ["Chronic", "Portable", "Annual", "Global", "Rapid", "Hidden"]
+    return [f"{pool[(i + len(query) + len(topic)) % 6]} {topic} {query} {i}"
+            for i in range(n)]
+
+
+def main() -> None:
+    samples = [
+        (
+            result_page(
+                q,
+                {"Web": titles("Web", q, 4), "News": titles("News", q, 3)},
+            ),
+            q,
+        )
+        for q in ("asthma", "telescope")
+    ]
+    wrapper = build_wrapper(samples)
+    print(f"induced: {wrapper}")
+    for family in wrapper.families:
+        print(f"  family {family.family_id} ({type(family).__name__}) over "
+              f"schemas {family.member_ids}")
+
+    # The new page adds an "Images" section never seen in training.
+    page = result_page(
+        "eclipse",
+        {
+            "Web": titles("Web", "eclipse", 3),
+            "News": titles("News", "eclipse", 2),
+            "Images": titles("Images", "eclipse", 4),
+        },
+    )
+    extraction = wrapper.extract(page, "eclipse")
+
+    print(f"\nextracted {len(extraction)} sections:")
+    for section in extraction.sections:
+        hidden = "hidden" in section.schema_id
+        marker = "  <-- HIDDEN SECTION (no training instance!)" if hidden else ""
+        print(f"  [{section.lbm_text}] {len(section)} records "
+              f"(schema {section.schema_id}){marker}")
+    assert any("hidden" in s.schema_id for s in extraction.sections), (
+        "expected the family to discover the unseen Images section"
+    )
+
+
+if __name__ == "__main__":
+    main()

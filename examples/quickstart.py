@@ -1,0 +1,72 @@
+"""Quickstart: induce a wrapper from two sample result pages and extract
+sections + records from an unseen page.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_wrapper
+
+
+def result_page(query: str, web_hits: list, news_hits: list) -> str:
+    """A miniature search-engine result page (HTML string)."""
+    parts = [
+        "<html><body>",
+        "<h1>DemoSearch</h1>",
+        '<div class="nav"><a href="/">Home</a> | <a href="/help">Help</a></div>',
+        f"<p><b>Your search for {query} returned "
+        f"{7 * (len(web_hits) + len(news_hits))} matches</b></p>",
+    ]
+    for topic, hits in (("Web", web_hits), ("News", news_hits)):
+        if not hits:
+            continue  # empty repositories produce no section: it's dynamic!
+        parts.append(f"<h2>{topic}</h2><ul>")
+        for title, snippet in hits:
+            parts.append(
+                f'<li><a href="/doc/{title[:8]}">{title}</a><br>{snippet}</li>'
+            )
+        parts.append('</ul><a href="/more">Click Here for More</a>')
+    parts.append("<p><small>Copyright 2006 DemoSearch</small></p></body></html>")
+    return "".join(parts)
+
+
+def hits(topic: str, query: str, n: int) -> list:
+    words = ["chronic", "digital", "portable", "annual", "global", "rapid"]
+    return [
+        (
+            f"{words[(i + len(query)) % 6].title()} {topic} guide to {query} ({i})",
+            f"A {words[(2 * i) % 6]} overview of {query} from the {topic} desk.",
+        )
+        for i in range(n)
+    ]
+
+
+def main() -> None:
+    # 1. Collect sample pages: the same engine queried with different terms.
+    samples = [
+        (result_page(q, hits("Web", q, 4), hits("News", q, 3)), q)
+        for q in ("asthma", "telescope", "sourdough")
+    ]
+
+    # 2. Induce the engine wrapper (MSE: steps 1-9 of the paper).
+    wrapper = build_wrapper(samples)
+    print(f"induced: {wrapper}")
+    for section_wrapper in wrapper.wrappers:
+        print(f"  schema {section_wrapper.schema_id}: "
+              f"pref={section_wrapper.pref}, sep={section_wrapper.separator}, "
+              f"LBM={sorted(section_wrapper.lbm_texts)}")
+
+    # 3. Extract from a new result page the wrapper has never seen.
+    unseen = result_page("eclipse", hits("Web", "eclipse", 5), hits("News", "eclipse", 2))
+    extraction = wrapper.extract(unseen, "eclipse")
+
+    print(f"\nextracted {len(extraction)} sections, "
+          f"{extraction.record_count} records:")
+    for section in extraction.sections:
+        print(f"\n[{section.lbm_text or '(unmarked)'}] "
+              f"lines {section.line_span[0]}..{section.line_span[1]}")
+        for record in section.records:
+            print(f"  - {record.text}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""MSE — Multiple Section Extraction from search engine result pages.
+
+A full reproduction of "Automatic Extraction of Dynamic Record Sections
+From Search Engine Result Pages" (Zhao, Meng, Yu — VLDB 2006).
+
+The top-level package lazily re-exports the primary public API:
+
+- :func:`repro.core.mse.build_wrapper` / :class:`repro.core.mse.MSE` —
+  wrapper induction from sample result pages.
+- :class:`repro.core.wrapper.EngineWrapper` — the induced wrapper; applies
+  to new result pages and returns sections with their records.
+- :mod:`repro.testbed` — the synthetic search-engine corpus used by the
+  evaluation harness.
+"""
+
+_EXPORTS = {
+    "MSE": "repro.core.mse",
+    "MSEConfig": "repro.core.mse",
+    "build_wrapper": "repro.core.mse",
+    "EngineWrapper": "repro.core.wrapper",
+    "ExtractedSection": "repro.core.model",
+    "ExtractedRecord": "repro.core.model",
+    "PageExtraction": "repro.core.model",
+}
+
+__all__ = sorted(_EXPORTS)
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Lazily resolve the public API (PEP 562).
+
+    Keeps ``import repro.htmlmod`` & friends cheap and free of circular
+    imports while still offering ``from repro import build_wrapper``.
+    """
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,62 @@
+"""Maximal clique enumeration (Bron–Kerbosch).
+
+§5.6: section instances from different sample pages form an undirected
+graph; each maximal clique of size >= 2 is a *section instance group* of
+one section schema.  We implement Bron–Kerbosch with pivoting, which is
+exact and fast on the small, near-disjoint-union-of-cliques graphs this
+pipeline produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
+
+
+def maximal_cliques(
+    vertices: Iterable[Hashable],
+    edges: Iterable[Tuple[Hashable, Hashable]],
+) -> List[FrozenSet[Hashable]]:
+    """Enumerate all maximal cliques of an undirected graph.
+
+    Self-loops are ignored.  Isolated vertices are reported as singleton
+    cliques (callers that follow the paper filter to size >= 2).
+    """
+    adjacency: Dict[Hashable, Set[Hashable]] = {v: set() for v in vertices}
+    for u, v in edges:
+        if u == v:
+            continue
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    if not adjacency:
+        return []
+
+    cliques: List[FrozenSet[Hashable]] = []
+
+    def expand(r: Set[Hashable], p: Set[Hashable], x: Set[Hashable]) -> None:
+        if not p and not x:
+            cliques.append(frozenset(r))
+            return
+        # Pivot on the vertex with most neighbours in P to prune branches.
+        pivot = max(p | x, key=lambda v: len(adjacency[v] & p))
+        for v in list(p - adjacency[pivot]):
+            expand(r | {v}, p & adjacency[v], x & adjacency[v])
+            p.remove(v)
+            x.add(v)
+
+    expand(set(), set(adjacency), set())
+    return cliques
+
+
+def section_instance_groups(
+    vertices: Iterable[Hashable],
+    edges: Iterable[Tuple[Hashable, Hashable]],
+    min_size: int = 2,
+) -> List[FrozenSet[Hashable]]:
+    """Maximal cliques of size >= ``min_size``, largest first.
+
+    This is the grouping rule of §5.6: dangling section instances (no
+    match on any other sample page) are dropped.
+    """
+    groups = [c for c in maximal_cliques(vertices, edges) if len(c) >= min_size]
+    groups.sort(key=lambda c: (-len(c), sorted(map(repr, c))))
+    return groups

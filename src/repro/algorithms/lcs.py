@@ -1,0 +1,78 @@
+"""Longest common subsequence utilities.
+
+Used when merging compact tag paths of matching section instances into a
+single wrapper path (§5.7) and when aligning record token sequences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def lcs_table(seq1: Sequence[T], seq2: Sequence[T]) -> List[List[int]]:
+    """The classic LCS dynamic-programming table."""
+    rows, cols = len(seq1), len(seq2)
+    table = [[0] * (cols + 1) for _ in range(rows + 1)]
+    for i in range(1, rows + 1):
+        row = table[i]
+        prev = table[i - 1]
+        item = seq1[i - 1]
+        for j in range(1, cols + 1):
+            if item == seq2[j - 1]:
+                row[j] = prev[j - 1] + 1
+            else:
+                row[j] = prev[j] if prev[j] >= row[j - 1] else row[j - 1]
+    return table
+
+
+def longest_common_subsequence(seq1: Sequence[T], seq2: Sequence[T]) -> List[T]:
+    """The longest common subsequence itself."""
+    table = lcs_table(seq1, seq2)
+    out: List[T] = []
+    i, j = len(seq1), len(seq2)
+    while i > 0 and j > 0:
+        if seq1[i - 1] == seq2[j - 1]:
+            out.append(seq1[i - 1])
+            i -= 1
+            j -= 1
+        elif table[i - 1][j] >= table[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    out.reverse()
+    return out
+
+
+def lcs_length(seq1: Sequence[T], seq2: Sequence[T]) -> int:
+    """Length of the LCS (space-efficient)."""
+    if len(seq2) > len(seq1):
+        seq1, seq2 = seq2, seq1
+    previous = [0] * (len(seq2) + 1)
+    for item in seq1:
+        current = [0]
+        for j, other in enumerate(seq2, start=1):
+            if item == other:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[j - 1]))
+        previous = current
+    return previous[-1]
+
+
+def common_prefix(sequences: Sequence[Sequence[T]]) -> List[T]:
+    """Longest prefix shared by all sequences (empty input -> [])."""
+    if not sequences:
+        return []
+    shortest = min(sequences, key=len)
+    for i, item in enumerate(shortest):
+        if any(seq[i] != item for seq in sequences):
+            return list(shortest[:i])
+    return list(shortest)
+
+
+def common_suffix(sequences: Sequence[Sequence[T]]) -> List[T]:
+    """Longest suffix shared by all sequences (empty input -> [])."""
+    reversed_seqs = [list(reversed(seq)) for seq in sequences]
+    return list(reversed(common_prefix(reversed_seqs)))

@@ -1,0 +1,87 @@
+"""Stable marriage with incomplete preference lists.
+
+§5.6 of the paper matches the section instances (MRs) of one sample page
+against those of another: "We apply the stable marriage algorithm [17]
+here to find out the matching MRs, with a minor modification to allow no
+match" — pairs whose matching score falls below a threshold are never
+matched even if mutually best.
+
+We implement the Gale–Shapley / McVitie–Wilson proposal algorithm over a
+score matrix.  Entries below ``threshold`` are treated as unacceptable on
+both sides, which yields a stable matching of the acceptable sub-lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def stable_match(
+    scores: Sequence[Sequence[float]],
+    threshold: float = float("-inf"),
+) -> List[Tuple[int, int]]:
+    """Stable matching between rows and columns of a score matrix.
+
+    ``scores[i][j]`` is the (symmetric-in-meaning) affinity between row
+    item ``i`` and column item ``j``; higher is better.  Pairs with score
+    below ``threshold`` are unacceptable to both parties and can never be
+    matched.  Returns the matched ``(row, col)`` pairs sorted by row.
+
+    The matching is stable: no unmatched acceptable pair prefers each
+    other to their assigned partners.
+    """
+    n_rows = len(scores)
+    n_cols = len(scores[0]) if n_rows else 0
+
+    # Each row's acceptable columns, best first.
+    preferences: List[List[int]] = []
+    for i in range(n_rows):
+        acceptable = [j for j in range(n_cols) if scores[i][j] >= threshold]
+        acceptable.sort(key=lambda j: -scores[i][j])
+        preferences.append(acceptable)
+
+    next_proposal = [0] * n_rows
+    col_partner: Dict[int, int] = {}
+    free_rows = [i for i in range(n_rows) if preferences[i]]
+
+    while free_rows:
+        row = free_rows.pop()
+        while next_proposal[row] < len(preferences[row]):
+            col = preferences[row][next_proposal[row]]
+            next_proposal[row] += 1
+            incumbent = col_partner.get(col)
+            if incumbent is None:
+                col_partner[col] = row
+                break
+            if scores[row][col] > scores[incumbent][col]:
+                col_partner[col] = row
+                free_rows.append(incumbent)
+                break
+            # Rejected; try the next preference.
+        # Rows that exhaust their list simply remain unmatched.
+
+    return sorted((row, col) for col, row in col_partner.items())
+
+
+def is_stable(
+    scores: Sequence[Sequence[float]],
+    matching: Sequence[Tuple[int, int]],
+    threshold: float = float("-inf"),
+) -> bool:
+    """Check stability of ``matching`` under ``scores`` (used by tests)."""
+    row_partner = {row: col for row, col in matching}
+    col_partner = {col: row for row, col in matching}
+    n_rows = len(scores)
+    n_cols = len(scores[0]) if n_rows else 0
+
+    for i in range(n_rows):
+        for j in range(n_cols):
+            if scores[i][j] < threshold:
+                continue
+            if row_partner.get(i) == j:
+                continue
+            i_prefers = i not in row_partner or scores[i][j] > scores[i][row_partner[i]]
+            j_prefers = j not in col_partner or scores[i][j] > scores[col_partner[j]][j]
+            if i_prefers and j_prefers:
+                return False
+    return True

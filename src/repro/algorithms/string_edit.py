@@ -1,0 +1,89 @@
+"""String (sequence) edit distance.
+
+The paper uses string edit distance in two places (§4.1, §4.2):
+
+- between *tag forests* viewed as strings of tag trees, where the
+  substitution cost of two trees is their normalized tree edit distance;
+- between *block text attributes* viewed as strings of line-attribute
+  sets, where the substitution cost is ``Dtal`` (Formula 2).
+
+Both need a generalized Levenshtein distance with a pluggable
+substitution-cost function, provided here by :func:`edit_distance`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+SubstCost = Callable[[T, T], float]
+
+
+def edit_distance(
+    seq1: Sequence[T],
+    seq2: Sequence[T],
+    substitution_cost: Optional[SubstCost] = None,
+    insertion_cost: float = 1.0,
+    deletion_cost: float = 1.0,
+) -> float:
+    """Generalized Levenshtein distance between two sequences.
+
+    ``substitution_cost(a, b)`` returns the cost of replacing ``a`` with
+    ``b``; the default is 0 for equal items and 1 otherwise.  Insertions
+    and deletions have unit cost unless overridden.
+
+    Runs in O(len(seq1) * len(seq2)) time and O(min(len)) space.
+    """
+    if substitution_cost is None:
+        substitution_cost = _unit_substitution
+
+    # Keep the shorter sequence in the inner dimension for O(min) space.
+    if len(seq2) > len(seq1):
+        seq1, seq2 = seq2, seq1
+        insertion_cost, deletion_cost = deletion_cost, insertion_cost
+        inner_subst = _flip(substitution_cost)
+    else:
+        inner_subst = substitution_cost
+
+    previous = [j * insertion_cost for j in range(len(seq2) + 1)]
+    for i, item1 in enumerate(seq1, start=1):
+        current = [i * deletion_cost]
+        for j, item2 in enumerate(seq2, start=1):
+            current.append(
+                min(
+                    previous[j] + deletion_cost,
+                    current[j - 1] + insertion_cost,
+                    previous[j - 1] + inner_subst(item1, item2),
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def normalized_edit_distance(
+    seq1: Sequence[T],
+    seq2: Sequence[T],
+    substitution_cost: Optional[SubstCost] = None,
+) -> float:
+    """Edit distance normalized by the longer sequence length.
+
+    Returns 0.0 for two empty sequences.  With the default unit costs the
+    result is in [0, 1].  This is the paper's normalization for tag-forest
+    and block-attribute distances.
+    """
+    longer = max(len(seq1), len(seq2))
+    if longer == 0:
+        return 0.0
+    return edit_distance(seq1, seq2, substitution_cost) / longer
+
+
+def _unit_substitution(a: T, b: T) -> float:
+    return 0.0 if a == b else 1.0
+
+
+def _flip(cost: SubstCost) -> SubstCost:
+    def flipped(a: T, b: T) -> float:
+        return cost(b, a)
+
+    return flipped

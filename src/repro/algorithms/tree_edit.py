@@ -1,0 +1,173 @@
+"""Tree edit distance (Zhang–Shasha).
+
+The paper (§4.1, citing Chawathe [9]) uses the edit distance between two
+*tag trees* — rooted, ordered, labelled trees — normalized by the size of
+the larger tree.  We implement the classic Zhang–Shasha dynamic program,
+which computes the exact ordered tree edit distance with unit costs in
+O(n1 * n2 * min(depth, leaves)^2) time.
+
+Trees are supplied in a neutral adjacency form so the module has no
+dependency on the DOM: :class:`OrderedTree` wraps ``(label, children)``
+recursion.  :func:`tree_from_element` adapts a DOM element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class OrderedTree:
+    """A rooted ordered labelled tree node."""
+
+    label: str
+    children: List["OrderedTree"] = field(default_factory=list)
+
+    def size(self) -> int:
+        """Number of nodes in this subtree."""
+        return 1 + sum(child.size() for child in self.children)
+
+    @classmethod
+    def from_tuple(cls, spec: Tuple) -> "OrderedTree":
+        """Build from a nested tuple ``(label, child_spec, ...)``.
+
+        This is the shape produced by
+        :meth:`repro.htmlmod.dom.Element.tag_signature`.
+        """
+        label, *children = spec
+        return cls(str(label), [cls.from_tuple(c) for c in children])
+
+    def __repr__(self) -> str:
+        return f"OrderedTree({self.label!r}, n={self.size()})"
+
+
+def tree_from_element(element) -> OrderedTree:
+    """Adapt a :class:`repro.htmlmod.dom.Element` subtree (elements only)."""
+    return OrderedTree.from_tuple(element.tag_signature())
+
+
+class _Annotated:
+    """Post-order numbering, leftmost-leaf table and keyroots of a tree."""
+
+    __slots__ = ("labels", "lml", "keyroots")
+
+    def __init__(self, root: OrderedTree) -> None:
+        self.labels: List[str] = []
+        self.lml: List[int] = []
+        order: List[int] = []
+
+        def visit(node: OrderedTree) -> int:
+            if node.children:
+                first = visit(node.children[0])
+                for child in node.children[1:]:
+                    visit(child)
+                my_lml = first
+            else:
+                my_lml = len(self.labels)
+            index = len(self.labels)
+            self.labels.append(node.label)
+            self.lml.append(my_lml)
+            order.append(index)
+            return my_lml
+
+        visit(root)
+        # Keyroots: nodes that are not the leftmost child of their parent,
+        # equivalently the highest node for each distinct leftmost leaf.
+        highest = {}
+        for index in range(len(self.labels)):
+            highest[self.lml[index]] = index
+        self.keyroots = sorted(highest.values())
+
+
+UnitCost = Callable[[Optional[str], Optional[str]], float]
+
+
+def _default_cost(label1: Optional[str], label2: Optional[str]) -> float:
+    """Unit insert/delete; substitution free for equal labels else 1."""
+    if label1 is None or label2 is None:
+        return 1.0
+    return 0.0 if label1 == label2 else 1.0
+
+
+def tree_edit_distance(
+    tree1: OrderedTree,
+    tree2: OrderedTree,
+    cost: UnitCost = _default_cost,
+) -> float:
+    """Exact ordered tree edit distance between two trees.
+
+    ``cost(a, None)`` is deletion of a node labelled ``a``, ``cost(None,
+    b)`` insertion, and ``cost(a, b)`` relabelling.
+    """
+    a1 = _Annotated(tree1)
+    a2 = _Annotated(tree2)
+    n1, n2 = len(a1.labels), len(a2.labels)
+    tree_dist = [[0.0] * n2 for _ in range(n1)]
+
+    for kr1 in a1.keyroots:
+        for kr2 in a2.keyroots:
+            _forest_distance(a1, a2, kr1, kr2, cost, tree_dist)
+    return tree_dist[n1 - 1][n2 - 1]
+
+
+def _forest_distance(a1, a2, kr1: int, kr2: int, cost, tree_dist) -> None:
+    l1, l2 = a1.lml[kr1], a2.lml[kr2]
+    rows = kr1 - l1 + 2
+    cols = kr2 - l2 + 2
+    fd = [[0.0] * cols for _ in range(rows)]
+
+    for i in range(1, rows):
+        fd[i][0] = fd[i - 1][0] + cost(a1.labels[l1 + i - 1], None)
+    for j in range(1, cols):
+        fd[0][j] = fd[0][j - 1] + cost(None, a2.labels[l2 + j - 1])
+
+    for i in range(1, rows):
+        node1 = l1 + i - 1
+        for j in range(1, cols):
+            node2 = l2 + j - 1
+            delete = fd[i - 1][j] + cost(a1.labels[node1], None)
+            insert = fd[i][j - 1] + cost(None, a2.labels[node2])
+            if a1.lml[node1] == l1 and a2.lml[node2] == l2:
+                # Both prefixes are whole trees: a relabel move applies.
+                replace = fd[i - 1][j - 1] + cost(a1.labels[node1], a2.labels[node2])
+                fd[i][j] = min(delete, insert, replace)
+                tree_dist[node1][node2] = fd[i][j]
+            else:
+                # Use the previously computed distance of the two subtrees.
+                size1 = a1.lml[node1] - l1
+                size2 = a2.lml[node2] - l2
+                replace = fd[size1][size2] + tree_dist[node1][node2]
+                fd[i][j] = min(delete, insert, replace)
+
+
+def normalized_tree_distance(tree1: OrderedTree, tree2: OrderedTree) -> float:
+    """Tree edit distance normalized by the larger tree's size (paper §4.1).
+
+    Always in [0, 1] with unit costs: the distance between two trees never
+    exceeds max(size1, size2) because deleting all of one and inserting all
+    of the other costs size1 + size2, while relabelling caps the total at
+    the larger size.
+    """
+    larger = max(tree1.size(), tree2.size())
+    if larger == 0:
+        return 0.0
+    return tree_edit_distance(tree1, tree2) / larger
+
+
+def forest_distance(
+    forest1: Sequence[OrderedTree],
+    forest2: Sequence[OrderedTree],
+) -> float:
+    """Normalized distance between two tag forests (paper §4.1).
+
+    A forest is an ordered list of trees; the paper treats it as a string
+    of trees and takes the string edit distance, normalized by the longer
+    list, with tree substitution cost equal to the normalized tree edit
+    distance.
+    """
+    from repro.algorithms.string_edit import normalized_edit_distance
+
+    return normalized_edit_distance(
+        list(forest1), list(forest2), substitution_cost=normalized_tree_distance
+    )

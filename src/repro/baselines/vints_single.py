@@ -1,0 +1,51 @@
+"""Single-section ViNTs baseline.
+
+ViNTs [29] — the system MSE extends — "assumes there is only one (major)
+MR to be extracted" and compares all tentative MRs to find the best one.
+This baseline reproduces that restriction on top of our MRE component:
+wrapper induction keeps only the *main* (largest) section per page, so on
+multi-section engines every secondary section is missed by construction —
+the paper's motivation for MSE.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.mse import MSE, MSEConfig, SampleInput
+from repro.core.wrapper import EngineWrapper
+
+
+class SingleSectionMSE(MSE):
+    """MSE restricted to the single main section (ViNTs behaviour)."""
+
+    def analyze_pages(self, prepared) -> List[List]:
+        sections_per_page = super().analyze_pages(prepared)
+        reduced = []
+        for sections in sections_per_page:
+            if sections:
+                main = max(
+                    sections, key=lambda s: (len(s.records), s.end - s.start)
+                )
+                reduced.append([main])
+            else:
+                reduced.append([])
+        return reduced
+
+    def build_wrapper(self, samples):
+        engine = super().build_wrapper(samples)
+        # One schema total: different pages may elect different "main"
+        # sections, but ViNTs commits to the single major one — keep the
+        # wrapper with the most records, drop families.
+        if engine.wrappers:
+            major = max(engine.wrappers, key=lambda w: w.typical_records)
+            engine.wrappers = [major]
+        engine.families = []
+        return engine
+
+
+def build_single_section_wrapper(
+    samples: Sequence[SampleInput], config: Optional[MSEConfig] = None
+) -> EngineWrapper:
+    """Induce a wrapper that extracts only the main result section."""
+    return SingleSectionMSE(config).build_wrapper(samples)

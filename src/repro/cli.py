@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+    python -m repro induce  -o wrapper.json page1.html:query1 page2.html:query2 ...
+    python -m repro extract -w wrapper.json page.html [--query "..."] [--json]
+    python -m repro check   -w wrapper.json page.html [--query "..."]
+    python -m repro eval    [--table 1|2|3|all] [--limit N]
+    python -m repro demo    [--engine-id N]
+
+``induce`` builds a wrapper from sample pages (each argument is an HTML
+file path, optionally suffixed ``:query terms``); ``extract`` applies a
+saved wrapper to a page and prints sections/records (or JSON);
+``check`` reports wrapper health (drift detection); ``eval`` regenerates
+the paper's tables on the synthetic corpus; ``demo`` runs a full
+induce-and-extract round trip against one synthetic engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.annotate import annotate_record
+from repro.core.mse import build_wrapper
+from repro.core.serialize import load_wrapper, save_wrapper
+from repro.core.verify import check_wrapper
+
+
+def _split_page_arg(arg: str) -> Tuple[str, str]:
+    """``path.html:query terms`` -> (path, query); query optional."""
+    path, _, query = arg.partition(":")
+    return path, query
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_induce(args) -> int:
+    samples = []
+    for arg in args.pages:
+        path, query = _split_page_arg(arg)
+        samples.append((_read(path), query))
+    if len(samples) < 2:
+        print("induce: need at least two sample pages", file=sys.stderr)
+        return 2
+    wrapper = build_wrapper(samples)
+    save_wrapper(wrapper, args.output)
+    print(
+        f"wrote {args.output}: {len(wrapper.wrappers)} section schema(s), "
+        f"{len(wrapper.families)} famil{'y' if len(wrapper.families) == 1 else 'ies'}"
+    )
+    return 0
+
+
+def cmd_extract(args) -> int:
+    wrapper = load_wrapper(args.wrapper)
+    extraction = wrapper.extract(_read(args.page), args.query)
+    if args.json:
+        payload = [
+            {
+                "schema": section.schema_id,
+                "lbm": section.lbm_text,
+                "lines": list(section.line_span),
+                "records": [
+                    {"lines": list(r.lines), "span": list(r.line_span),
+                     "fields": annotate_record(r).fields}
+                    for r in section.records
+                ],
+            }
+            for section in extraction.sections
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{len(extraction)} section(s), {extraction.record_count} record(s)")
+    for section in extraction.sections:
+        print(f"\n[{section.lbm_text or section.schema_id}]")
+        for record in section.records:
+            print(f"  - {record.text}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    wrapper = load_wrapper(args.wrapper)
+    health = check_wrapper(wrapper, _read(args.page), args.query)
+    print(f"health score: {health.score:.2f} "
+          f"({'DRIFTED - re-induce' if health.drifted else 'ok'})")
+    for section in health.sections:
+        status = "ok" if section.healthy else ("absent" if not section.found else "suspect")
+        print(f"  {section.schema_id}: {status} "
+              f"(records={section.record_count}, typical={section.typical_records})")
+    return 1 if health.drifted else 0
+
+
+def cmd_eval(args) -> int:
+    from repro.evalkit.harness import main as harness_main
+
+    argv = ["--table", args.table]
+    if args.limit is not None:
+        argv += ["--limit", str(args.limit)]
+    if args.progress:
+        argv.append("--progress")
+    return harness_main(argv)
+
+
+def cmd_demo(args) -> int:
+    from repro.testbed import load_engine_pages
+
+    engine_pages = load_engine_pages(args.engine_id)
+    engine = engine_pages.engine
+    print(f"engine {engine.name}: {len(engine.sections)} section schema(s), "
+          f"template {engine.template.name}")
+    wrapper = build_wrapper(engine_pages.sample_set)
+    print(f"induced {len(wrapper.wrappers)} schema(s), "
+          f"{len(wrapper.families)} family(ies) from 5 sample pages")
+    markup, query = engine_pages.test_set[0]
+    extraction = wrapper.extract(markup, query)
+    print(f"\nextraction for held-out query {query!r}:")
+    for section in extraction.sections:
+        print(f"  [{section.lbm_text or section.schema_id}] {len(section)} records")
+        for record in section.records[:3]:
+            print(f"     - {record.lines[0][:70]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_induce = sub.add_parser("induce", help="build a wrapper from sample pages")
+    p_induce.add_argument("pages", nargs="+", help="page.html[:query terms]")
+    p_induce.add_argument("-o", "--output", required=True, help="wrapper JSON path")
+    p_induce.set_defaults(func=cmd_induce)
+
+    p_extract = sub.add_parser("extract", help="apply a wrapper to a page")
+    p_extract.add_argument("page", help="result page HTML file")
+    p_extract.add_argument("-w", "--wrapper", required=True)
+    p_extract.add_argument("--query", default="", help="query that produced the page")
+    p_extract.add_argument("--json", action="store_true", help="JSON output")
+    p_extract.set_defaults(func=cmd_extract)
+
+    p_check = sub.add_parser("check", help="wrapper health / drift detection")
+    p_check.add_argument("page", help="result page HTML file")
+    p_check.add_argument("-w", "--wrapper", required=True)
+    p_check.add_argument("--query", default="")
+    p_check.set_defaults(func=cmd_check)
+
+    p_eval = sub.add_parser("eval", help="regenerate the paper's tables")
+    p_eval.add_argument("--table", choices=["1", "2", "3", "all"], default="all")
+    p_eval.add_argument("--limit", type=int, default=None)
+    p_eval.add_argument("--progress", action="store_true")
+    p_eval.set_defaults(func=cmd_eval)
+
+    p_demo = sub.add_parser("demo", help="induce+extract on a synthetic engine")
+    p_demo.add_argument("--engine-id", type=int, default=85)
+    p_demo.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,288 @@
+"""DSE — dynamic section identification via boundary markers (paper §5.2).
+
+DSE works on a *pair* of rendered sample pages at a time:
+
+1. clean every content line by removing dynamic components (numbers and
+   the query terms that produced the page);
+2. find mutually-most-compatible line pairs across the two pages — same
+   cleaned text, compatible tag paths, minimal Formula-1 path distance,
+   and each the other's best match — these are tentative CSBMs
+   (candidate section boundary markers);
+3. drop tentative CSBMs that occur inside *every* record of some MR on
+   their page (frequent in-record strings like "Buy new: $..." are not
+   boundaries);
+4. partition each page's lines into maximal CSBM / non-CSBM segments;
+   the non-CSBM segments are the candidate dynamic sections (DSs), each
+   bounded by the nearest CSBM on either side (its LBM / RBM).
+
+With more than two sample pages, :func:`mark_csbms_multi` unions the
+marks over all page pairs: a section header appears on just the pages
+where its section is non-empty, so pairing every page with every other is
+what catches semi-dynamic markers.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.mre import TentativeMR
+from repro.features.blocks import Block
+from repro.render.lines import ContentLine, RenderedPage
+from repro.render.linetypes import LineType
+
+_NUMBER_RE = re.compile(r"\d+(?:[.,:/]\d+)*")
+_MULTISPACE_RE = re.compile(r"\s+")
+
+#: Line types that are template furniture rather than text content; they
+#: carry no comparable text, so DSE matches them structurally.
+_STRUCTURAL_TYPES = frozenset({LineType.HR, LineType.IMAGE, LineType.FORM})
+
+
+def clean_line_text(text: str, query_terms: Iterable[str]) -> str:
+    """Remove dynamic components: numbers and query terms (§5.2).
+
+    Comparison of semi-dynamic lines like "Your search returned 578
+    matches" across pages requires stripping the parts that vary with the
+    query.  Matching is case-insensitive for query terms.
+    """
+    cleaned = _NUMBER_RE.sub("", text)
+    for term in query_terms:
+        if term:
+            cleaned = re.sub(re.escape(term), "", cleaned, flags=re.IGNORECASE)
+    cleaned = _MULTISPACE_RE.sub(" ", cleaned).strip()
+    return cleaned.lower()
+
+
+def clean_page_lines(page: RenderedPage, query_terms: Iterable[str]) -> None:
+    """Fill every line's ``cleaned`` attribute in place (DSE lines 1-2)."""
+    terms = list(query_terms)
+    for line in page.lines:
+        line.cleaned = clean_line_text(line.text, terms)
+
+
+@dataclass
+class DynamicSection:
+    """A candidate DS: a maximal run of non-CSBM lines with its markers."""
+
+    page: RenderedPage
+    start: int
+    end: int
+    lbm: Optional[int] = None
+    rbm: Optional[int] = None
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start + 1
+
+    def block(self) -> Block:
+        return Block(self.page, self.start, self.end)
+
+    def __repr__(self) -> str:
+        return f"DS[{self.start}..{self.end}] lbm={self.lbm} rbm={self.rbm}"
+
+
+def match_key(line: ContentLine) -> str:
+    """The text key DSE matches lines on.
+
+    Ordinary lines match on their cleaned text.  Structural lines (HR,
+    images, form controls) often have no text at all but are classic
+    template furniture — they match on a (type, position) pseudo-key
+    instead, so a horizontal rule or a search box is still recognized as
+    static content across pages.
+    """
+    if line.cleaned:
+        return line.cleaned
+    if line.line_type in _STRUCTURAL_TYPES:
+        return f"\x00{line.line_type.value}@{line.position}"
+    return ""
+
+
+def find_most_compatible_line(
+    line: ContentLine, other_lines: Sequence[ContentLine]
+) -> Optional[ContentLine]:
+    """The other page's line most compatible with ``line`` (DSE lines 3-6).
+
+    Candidates must have the same non-empty match key and a compatible
+    tag path; the one with the smallest Formula-1 path distance wins (ties
+    go to the earliest, for determinism).
+    """
+    key = match_key(line)
+    if not key:
+        return None
+    best: Optional[ContentLine] = None
+    best_distance = float("inf")
+    for candidate in other_lines:
+        if match_key(candidate) != key:
+            continue
+        if not candidate.tag_path.compatible(line.tag_path):
+            continue
+        distance = candidate.tag_path.distance(line.tag_path)
+        if distance < best_distance:
+            best = candidate
+            best_distance = distance
+    return best
+
+
+def _index_by_cleaned(page: RenderedPage) -> Dict[str, List[ContentLine]]:
+    index: Dict[str, List[ContentLine]] = defaultdict(list)
+    for line in page.lines:
+        key = match_key(line)
+        if key:
+            index[key].append(line)
+    return index
+
+
+def mark_csbms_pair(page1: RenderedPage, page2: RenderedPage) -> Tuple[Set[int], Set[int]]:
+    """Tentative CSBM line numbers on each page of a pair (DSE lines 3-9).
+
+    A line is a tentative CSBM when it and its most compatible line on the
+    other page are each other's best match (mutual-best filtering reduces
+    false matches from repeated record strings).
+    """
+    index1 = _index_by_cleaned(page1)
+    index2 = _index_by_cleaned(page2)
+
+    best12: Dict[int, Optional[ContentLine]] = {}
+    for line in page1.lines:
+        candidates = index2.get(match_key(line), ())
+        best12[line.number] = find_most_compatible_line(line, candidates)
+
+    csbms1: Set[int] = set()
+    csbms2: Set[int] = set()
+    for line in page1.lines:
+        match = best12[line.number]
+        if match is None:
+            continue
+        candidates_back = index1.get(match_key(match), ())
+        back = find_most_compatible_line(match, candidates_back)
+        if back is not None and back.number == line.number:
+            csbms1.add(line.number)
+            csbms2.add(match.number)
+    return csbms1, csbms2
+
+
+def mark_csbms_multi(pages: Sequence[RenderedPage]) -> List[Set[int]]:
+    """Combine pairwise CSBM marks over all page pairs by voting.
+
+    With three or more sample pages a line must be marked in at least two
+    pairings to count: truly static/semi-dynamic template lines match on
+    every pairing, while a *record* that happens to be retrieved by two
+    different queries matches on exactly one pairing and must not become
+    a boundary marker.  With only two pages there is a single pairing and
+    every mark counts.
+    """
+    votes: List[Dict[int, int]] = [defaultdict(int) for _ in pages]
+    for i in range(len(pages)):
+        for j in range(i + 1, len(pages)):
+            csbms_i, csbms_j = mark_csbms_pair(pages[i], pages[j])
+            for number in csbms_i:
+                votes[i][number] += 1
+            for number in csbms_j:
+                votes[j][number] += 1
+
+    required = 2 if len(pages) >= 3 else 1
+    marks: List[Set[int]] = []
+    for page, page_votes in zip(pages, votes):
+        certified = {
+            number for number, count in page_votes.items() if count >= required
+        }
+        # A line that fell short of the vote threshold (a rarely-populated
+        # section's footer exists on too few pages to match) still counts
+        # when an identical, structurally compatible line elsewhere on the
+        # same page is certified: the text is proven template furniture.
+        by_key: Dict[str, List[ContentLine]] = defaultdict(list)
+        for number in certified:
+            line = page.lines[number]
+            by_key[match_key(line)].append(line)
+        for line in page.lines:
+            if line.number in certified:
+                continue
+            twins = by_key.get(match_key(line)) if match_key(line) else None
+            if twins and any(
+                line.tag_path.compatible(t.tag_path) for t in twins
+            ):
+                certified.add(line.number)
+        marks.append(certified)
+    return marks
+
+
+def filter_csbms(
+    page: RenderedPage, csbms: Set[int], mrs: Sequence[TentativeMR]
+) -> Set[int]:
+    """Drop CSBMs that occur inside every record of some MR (DSE line 10).
+
+    A cleaned text that shows up in all member records of a multi-record
+    section is a per-record pattern, not a boundary.
+    """
+    if not mrs or not csbms:
+        return set(csbms)
+
+    suspect_texts: Set[str] = set()
+    for mr in mrs:
+        if len(mr.records) < 2:
+            continue
+        per_record: List[Set[str]] = []
+        for record in mr.records:
+            per_record.append({line.cleaned for line in record.lines if line.cleaned})
+        in_all = set.intersection(*per_record) if per_record else set()
+        suspect_texts |= in_all
+
+    kept = set()
+    for number in csbms:
+        line = page.lines[number]
+        inside_mr = any(mr.start <= number <= mr.end for mr in mrs)
+        if inside_mr and line.cleaned in suspect_texts:
+            continue
+        kept.add(number)
+    return kept
+
+
+def identify_dss(page: RenderedPage, csbms: Set[int]) -> List[DynamicSection]:
+    """Partition a page into DSs by its CSBM lines (DSE lines 12-13)."""
+    sections: List[DynamicSection] = []
+    run_start: Optional[int] = None
+    for line in page.lines:
+        if line.number in csbms:
+            if run_start is not None:
+                sections.append(_make_ds(page, run_start, line.number - 1, csbms))
+                run_start = None
+        else:
+            if run_start is None:
+                run_start = line.number
+    if run_start is not None:
+        sections.append(_make_ds(page, run_start, len(page.lines) - 1, csbms))
+    return sections
+
+
+def _make_ds(page: RenderedPage, start: int, end: int, csbms: Set[int]) -> DynamicSection:
+    lbm = start - 1 if start - 1 >= 0 and (start - 1) in csbms else None
+    rbm = end + 1 if end + 1 < len(page.lines) and (end + 1) in csbms else None
+    return DynamicSection(page, start, end, lbm=lbm, rbm=rbm)
+
+
+def run_dse(
+    pages: Sequence[RenderedPage],
+    queries: Sequence[str],
+    mrs_per_page: Sequence[Sequence[TentativeMR]],
+) -> Tuple[List[Set[int]], List[List[DynamicSection]]]:
+    """The full DSE stage over all sample pages.
+
+    ``queries[i]`` is the query string that produced ``pages[i]`` (its
+    whitespace-split terms are removed during cleaning).  Returns the
+    final CSBM sets and the DS lists, one per page.
+    """
+    if len(pages) != len(queries):
+        raise ValueError("pages and queries must align")
+    for page, query in zip(pages, queries):
+        clean_page_lines(page, query.split())
+
+    marks = mark_csbms_multi(pages)
+    filtered = [
+        filter_csbms(page, csbms, list(mrs))
+        for page, csbms, mrs in zip(pages, marks, mrs_per_page)
+    ]
+    sections = [identify_dss(page, csbms) for page, csbms in zip(pages, filtered)]
+    return filtered, sections

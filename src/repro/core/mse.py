@@ -1,0 +1,202 @@
+"""MSE — the wrapper-generation orchestrator (paper §3, steps 1-9).
+
+Input: *n* sample result pages of one search engine (with the queries
+that produced them).  Output: an :class:`EngineWrapper` that extracts all
+dynamic sections and their records from any result page of that engine.
+
+    >>> from repro import build_wrapper
+    >>> wrapper = build_wrapper([(html1, "query one"), (html2, "query two")])
+    >>> extraction = wrapper.extract(new_html, "another query")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.dse import DynamicSection, run_dse
+from repro.core.family import SectionFamily, build_families
+from repro.core.granularity import resolve_granularity
+from repro.core.grouping import MATCH_THRESHOLD, group_section_instances
+from repro.core.mining import mine_records
+from repro.core.model import SectionInstance
+from repro.core.mre import TentativeMR, extract_mrs
+from repro.core.refine import refine_page
+from repro.core.wrapper import EngineWrapper, SectionWrapper, build_section_wrapper
+from repro.features.blocks import Block
+from repro.features.config import DEFAULT_CONFIG, FeatureConfig
+from repro.features.record_distance import RecordDistanceCache
+from repro.htmlmod.parser import parse_html
+from repro.render.layout import render_page
+from repro.render.lines import RenderedPage
+
+
+@dataclass(frozen=True)
+class MSEConfig:
+    """Configuration of the MSE pipeline.
+
+    The boolean switches exist for the ablation benches; the paper's full
+    system corresponds to the defaults.
+    """
+
+    features: FeatureConfig = DEFAULT_CONFIG
+    #: stable-marriage no-match threshold for instance grouping (§5.6)
+    match_threshold: float = MATCH_THRESHOLD
+    #: build section families for hidden sections (§5.8)
+    use_families: bool = True
+    #: run MR/DS refinement (§5.3); off = trust raw MRs and mine raw DSs
+    use_refinement: bool = True
+    #: run the granularity pass (§5.5)
+    use_granularity: bool = True
+    #: 'cohesion' (Formula 7, §5.4) or 'per-child' (plain tag heuristics)
+    mining_strategy: str = "cohesion"
+
+
+SampleInput = Union[str, Tuple[str, str]]
+
+
+@dataclass
+class _PreparedPage:
+    page: RenderedPage
+    query: str
+
+
+class MSE:
+    """Multiple Section Extraction: builds wrappers from sample pages."""
+
+    def __init__(self, config: Optional[MSEConfig] = None) -> None:
+        self.config = config or MSEConfig()
+
+    # -- public API -----------------------------------------------------
+    def build_wrapper(self, samples: Sequence[SampleInput]) -> EngineWrapper:
+        """Induce an engine wrapper from sample result pages.
+
+        Each sample is either an HTML string or an ``(html, query)`` pair;
+        at least two samples are required (section instances must be
+        certified by a match on another page, §5.6).
+        """
+        prepared = self._prepare(samples)
+        if len(prepared) < 2:
+            raise ValueError("MSE needs at least two sample pages")
+
+        sections_per_page = self.analyze_pages(prepared)
+        groups = group_section_instances(
+            sections_per_page, threshold=self.config.match_threshold
+        )
+
+        wrappers: List[SectionWrapper] = []
+        for index, group in enumerate(groups):
+            wrapper = build_section_wrapper(
+                group, schema_id=f"S{index}", config=self.config.features
+            )
+            if wrapper is not None:
+                wrappers.append(wrapper)
+
+        families: List[SectionFamily] = []
+        if self.config.use_families:
+            families, _leftover = build_families(wrappers)
+            # All wrappers stay available: at extraction time a member
+            # wrapper runs only when its family did not locate it.
+        return EngineWrapper(wrappers, families, self.config.features)
+
+    # -- pipeline pieces (public for tests/ablations) ----------------------
+    def analyze_pages(
+        self, prepared: Sequence[_PreparedPage]
+    ) -> List[List[SectionInstance]]:
+        """Steps 2-6 for every sample page: MRE, DSE, refine, mine, check."""
+        config = self.config.features
+        pages = [item.page for item in prepared]
+        queries = [item.query for item in prepared]
+
+        caches = [RecordDistanceCache(config) for _ in pages]
+        mrs_per_page: List[List[TentativeMR]] = [
+            extract_mrs(page, config, cache) for page, cache in zip(pages, caches)
+        ]
+        csbms_per_page, dss_per_page = run_dse(pages, queries, mrs_per_page)
+
+        sections_per_page: List[List[SectionInstance]] = []
+        for page, mrs, dss, csbms, cache in zip(
+            pages, mrs_per_page, dss_per_page, csbms_per_page, caches
+        ):
+            sections = self._page_sections(page, mrs, dss, csbms, cache)
+            sections_per_page.append(sections)
+        return sections_per_page
+
+    def _page_sections(
+        self,
+        page: RenderedPage,
+        mrs: List[TentativeMR],
+        dss: List[DynamicSection],
+        csbms,
+        cache: RecordDistanceCache,
+    ) -> List[SectionInstance]:
+        config = self.config.features
+
+        if self.config.use_refinement:
+            result = refine_page(page, mrs, dss, csbms, config, cache)
+            sections = list(result.sections)
+            pending = result.pending
+        else:
+            # Ablation: trust raw MRs, mine every DS that has no MR.
+            sections = [
+                SectionInstance(
+                    page=page,
+                    block=mr.block(),
+                    records=list(mr.records),
+                    origin="mre-raw",
+                )
+                for mr in mrs
+            ]
+            pending = [
+                ds
+                for ds in dss
+                if not any(mr.start <= ds.end and ds.start <= mr.end for mr in mrs)
+            ]
+
+        for ds in pending:
+            block = ds.block()
+            records = self._mine(block, cache)
+            sections.append(
+                SectionInstance(
+                    page=page,
+                    block=block,
+                    records=records,
+                    lbm=ds.lbm,
+                    rbm=ds.rbm,
+                    origin="mined",
+                )
+            )
+        sections.sort(key=lambda s: s.start)
+
+        if self.config.use_granularity:
+            sections = resolve_granularity(sections, config, cache)
+        return sections
+
+    def _mine(self, block: Block, cache: RecordDistanceCache) -> List[Block]:
+        if self.config.mining_strategy == "per-child":
+            from repro.core.mining import candidate_partitions
+
+            candidates = candidate_partitions(block, self.config.features)
+            # plain heuristic: the finest tag partition, no cohesion scoring
+            return max(candidates, key=len)
+        return mine_records(block, self.config.features, cache)
+
+    # -- helpers ------------------------------------------------------------
+    @staticmethod
+    def _prepare(samples: Sequence[SampleInput]) -> List[_PreparedPage]:
+        prepared: List[_PreparedPage] = []
+        for sample in samples:
+            if isinstance(sample, tuple):
+                markup, query = sample
+            else:
+                markup, query = sample, ""
+            page = render_page(parse_html(markup))
+            prepared.append(_PreparedPage(page=page, query=query))
+        return prepared
+
+
+def build_wrapper(
+    samples: Sequence[SampleInput], config: Optional[MSEConfig] = None
+) -> EngineWrapper:
+    """Convenience one-shot wrapper induction (see :class:`MSE`)."""
+    return MSE(config).build_wrapper(samples)

@@ -1,0 +1,140 @@
+"""Wrapper verification and drift detection.
+
+The paper's applications (metasearch, deep-web crawling) apply a wrapper
+for a long time after induction; when the engine redesigns its result
+pages, extraction silently degrades.  This module scores how healthy a
+wrapper's output looks on a page, so callers can trigger re-induction —
+the "automatic maintenance of metasearch engines" loop of §1.
+
+Checks, each contributing to a [0, 1] health score:
+
+- **coverage** — the wrapper extracted at least one section, and a
+  plausible fraction of the page's content lines belongs to records;
+- **count plausibility** — per-schema record counts near the induction-
+  time typical counts (within a generous band; result counts genuinely
+  vary by query);
+- **record homogeneity** — records inside each section still look like
+  one another (mean inter-record distance under a threshold);
+- **marker agreement** — boundary markers found where the wrapper
+  expects them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dse import clean_page_lines
+from repro.core.wrapper import EngineWrapper, apply_section_wrapper
+from repro.features.blocks import Block
+from repro.features.cohesion import inter_record_distance
+from repro.features.config import DEFAULT_CONFIG
+from repro.features.record_distance import RecordDistanceCache
+from repro.htmlmod.dom import Document
+from repro.htmlmod.parser import parse_html
+from repro.render.layout import render_page
+
+#: mean Drec above which a section's records no longer cohere
+HOMOGENEITY_LIMIT = 0.45
+
+#: acceptable ratio band of extracted records vs induction-time typical
+COUNT_BAND = (0.2, 5.0)
+
+
+@dataclass(frozen=True)
+class SectionHealth:
+    """Per-schema health outcome for one page."""
+
+    schema_id: str
+    found: bool
+    record_count: int = 0
+    typical_records: int = 0
+    homogeneity: float = 0.0  # mean inter-record distance (0 = identical)
+    marker_hit: bool = False
+
+    @property
+    def healthy(self) -> bool:
+        if not self.found:
+            return False
+        if self.homogeneity > HOMOGENEITY_LIMIT:
+            return False
+        if self.typical_records:
+            ratio = self.record_count / self.typical_records
+            if not (COUNT_BAND[0] <= ratio <= COUNT_BAND[1]):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class WrapperHealth:
+    """Aggregate wrapper health on one page."""
+
+    sections: Tuple[SectionHealth, ...]
+    score: float
+
+    @property
+    def drifted(self) -> bool:
+        """True when re-induction is advisable."""
+        return self.score < 0.5
+
+
+def check_wrapper(
+    engine: EngineWrapper, markup_or_document, query: str = ""
+) -> WrapperHealth:
+    """Assess wrapper health against one result page.
+
+    Sections legitimately absent for a query lower the score only
+    mildly; structural mismatches (found-but-incoherent sections, wild
+    record counts) lower it hard.
+    """
+    if isinstance(markup_or_document, Document):
+        document = markup_or_document
+    else:
+        document = parse_html(markup_or_document)
+    page = render_page(document)
+    clean_page_lines(page, query.split())
+
+    cache = RecordDistanceCache(DEFAULT_CONFIG)
+    outcomes: List[SectionHealth] = []
+    for wrapper in engine.wrappers:
+        instance = apply_section_wrapper(wrapper, page)
+        if instance is None:
+            outcomes.append(
+                SectionHealth(schema_id=wrapper.schema_id, found=False)
+            )
+            continue
+        homogeneity = inter_record_distance(
+            instance.records, DEFAULT_CONFIG, cache
+        )
+        outcomes.append(
+            SectionHealth(
+                schema_id=wrapper.schema_id,
+                found=True,
+                record_count=len(instance.records),
+                typical_records=wrapper.typical_records,
+                homogeneity=homogeneity,
+                marker_hit=instance.score >= 1.0,
+            )
+        )
+
+    if not outcomes:
+        return WrapperHealth(sections=(), score=0.0)
+
+    score = 0.0
+    for health in outcomes:
+        if health.healthy:
+            score += 1.0
+        elif not health.found:
+            score += 0.4  # absence can be legitimate (query dependence)
+    score /= len(outcomes)
+    return WrapperHealth(sections=tuple(outcomes), score=score)
+
+
+def check_wrapper_on_pages(
+    engine: EngineWrapper, pages: List[Tuple[str, str]]
+) -> float:
+    """Mean health score over several (markup, query) pages."""
+    if not pages:
+        return 0.0
+    total = sum(check_wrapper(engine, markup, query).score for markup, query in pages)
+    return total / len(pages)

@@ -1,0 +1,341 @@
+"""The evaluation harness: regenerates the paper's Tables 1-3.
+
+Per engine: build the wrapper from the 5 sample pages, extract from all
+10 pages, grade against ground truth, and accumulate the "S pgs" /
+"T pgs" / "Total" rows exactly as the paper reports them.
+
+Run from the command line::
+
+    python -m repro.evalkit.harness --table 1          # all 119 engines
+    python -m repro.evalkit.harness --table 2          # the 38 multi-section
+    python -m repro.evalkit.harness --table 3          # record extraction
+    python -m repro.evalkit.harness --table all --limit 20   # quick pass
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.mse import MSE, MSEConfig
+from repro.evalkit.matching import grade_page
+from repro.evalkit.metrics import EvalRows
+from repro.evalkit.report import (
+    render_record_table,
+    render_section_table,
+)
+from repro.testbed.corpus import SAMPLE_PAGES, EnginePages, iter_corpus
+
+
+@dataclass
+class EngineResult:
+    """Per-engine evaluation outcome (kept for diagnostics/benches)."""
+
+    engine_id: int
+    rows: EvalRows
+    build_seconds: float
+    extract_seconds: float
+    failed: bool = False
+    error: str = ""
+    #: generator metadata, for breakdown reporting
+    template: str = ""
+    styles: Tuple[str, ...] = ()
+    section_count: int = 0
+    has_junk: bool = False
+    shared_table: bool = False
+
+
+def _engine_metadata(engine_pages: EnginePages) -> dict:
+    engine = engine_pages.engine
+    return dict(
+        template=engine.template.name,
+        styles=tuple(s.style.name for s in engine.sections),
+        section_count=len(engine.sections),
+        has_junk=engine.dynamic_junk,
+        shared_table=engine.shared_table,
+    )
+
+
+def evaluate_engine(
+    engine_pages: EnginePages, config: Optional[MSEConfig] = None
+) -> EngineResult:
+    """Build a wrapper from the sample pages and grade all ten pages."""
+    rows = EvalRows()
+    mse = MSE(config)
+    metadata = _engine_metadata(engine_pages)
+
+    start = time.perf_counter()
+    try:
+        wrapper = mse.build_wrapper(engine_pages.sample_set)
+    except Exception as exc:  # a failed induction counts as zero recall
+        return EngineResult(
+            engine_id=engine_pages.engine.engine_id,
+            rows=_rows_for_total_miss(engine_pages),
+            build_seconds=time.perf_counter() - start,
+            extract_seconds=0.0,
+            failed=True,
+            error=f"{type(exc).__name__}: {exc}",
+            **metadata,
+        )
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for index, (markup, query) in enumerate(
+        zip(engine_pages.pages, engine_pages.queries)
+    ):
+        truth = engine_pages.truths[index]
+        extraction = wrapper.extract(markup, query)
+        grade = grade_page(extraction, truth)
+        is_sample = index < SAMPLE_PAGES
+        sections = rows.sample_sections if is_sample else rows.test_sections
+        records = rows.sample_records if is_sample else rows.test_records
+        sections.add_grade(grade, len(truth.sections))
+        records.add_grade(grade)
+    extract_seconds = time.perf_counter() - start
+
+    return EngineResult(
+        engine_id=engine_pages.engine.engine_id,
+        rows=rows,
+        build_seconds=build_seconds,
+        extract_seconds=extract_seconds,
+        **metadata,
+    )
+
+
+def breakdown(
+    run: "EvaluationRun", dimension: str
+) -> List[Tuple[str, EvalRows]]:
+    """Aggregate a run's rows by an engine property.
+
+    ``dimension`` is one of ``template`` (page chrome family), ``style``
+    (record rendering style; multi-style engines count under each of
+    their styles), ``sections`` (single / multi / shared-table), or
+    ``junk`` (dynamic-junk engines vs clean ones).  Returns sorted
+    (label, rows) pairs — the analysis behind §6's failure discussion.
+    """
+    groups: Dict[str, EvalRows] = {}
+
+    def add(label: str, result: EngineResult) -> None:
+        groups.setdefault(label, EvalRows()).merge(result.rows)
+
+    for result in run.engines:
+        if dimension == "template":
+            add(result.template or "?", result)
+        elif dimension == "style":
+            for style in set(result.styles) or {"?"}:
+                add(style, result)
+        elif dimension == "sections":
+            if result.shared_table:
+                add("shared-table", result)
+            elif result.section_count > 1:
+                add("multi", result)
+            else:
+                add("single", result)
+        elif dimension == "junk":
+            add("with-junk" if result.has_junk else "clean", result)
+        else:
+            raise ValueError(f"unknown breakdown dimension {dimension!r}")
+    return sorted(groups.items())
+
+
+def write_engine_csv(run: "EvaluationRun", path: str) -> None:
+    """Write per-engine results as CSV (one row per engine).
+
+    Columns: engine id, generator metadata, section counters and the four
+    derived rates — the raw material for custom analyses beyond the
+    built-in breakdowns.
+    """
+    import csv
+
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "engine_id", "template", "styles", "section_count",
+                "has_junk", "shared_table", "failed",
+                "actual", "extracted", "perfect", "partial",
+                "recall_perfect", "recall_total",
+                "precision_perfect", "precision_total",
+                "build_seconds",
+            ]
+        )
+        for result in run.engines:
+            total = result.rows.total_sections
+            writer.writerow(
+                [
+                    result.engine_id,
+                    result.template,
+                    "|".join(result.styles),
+                    result.section_count,
+                    int(result.has_junk),
+                    int(result.shared_table),
+                    int(result.failed),
+                    total.actual,
+                    total.extracted,
+                    total.perfect,
+                    total.partial,
+                    f"{total.recall_perfect:.4f}",
+                    f"{total.recall_total:.4f}",
+                    f"{total.precision_perfect:.4f}",
+                    f"{total.precision_total:.4f}",
+                    f"{result.build_seconds:.3f}",
+                ]
+            )
+
+
+def evaluate_extractor(
+    engine_pages: EnginePages, extract_fn
+) -> EngineResult:
+    """Grade an arbitrary per-page extractor (used by baseline benches).
+
+    ``extract_fn(markup, query) -> PageExtraction``; no wrapper induction
+    happens (the function may close over a pre-built wrapper).
+    """
+    rows = EvalRows()
+    start = time.perf_counter()
+    for index, (markup, query) in enumerate(
+        zip(engine_pages.pages, engine_pages.queries)
+    ):
+        truth = engine_pages.truths[index]
+        grade = grade_page(extract_fn(markup, query), truth)
+        is_sample = index < SAMPLE_PAGES
+        sections = rows.sample_sections if is_sample else rows.test_sections
+        records = rows.sample_records if is_sample else rows.test_records
+        sections.add_grade(grade, len(truth.sections))
+        records.add_grade(grade)
+    return EngineResult(
+        engine_id=engine_pages.engine.engine_id,
+        rows=rows,
+        build_seconds=0.0,
+        extract_seconds=time.perf_counter() - start,
+    )
+
+
+def _rows_for_total_miss(engine_pages: EnginePages) -> EvalRows:
+    rows = EvalRows()
+    for index, truth in enumerate(engine_pages.truths):
+        counts = (
+            rows.sample_sections if index < SAMPLE_PAGES else rows.test_sections
+        )
+        counts.actual += len(truth.sections)
+    return rows
+
+
+@dataclass
+class EvaluationRun:
+    """Aggregate outcome over a set of engines."""
+
+    rows: EvalRows = field(default_factory=EvalRows)
+    engines: List[EngineResult] = field(default_factory=list)
+
+    @property
+    def build_seconds(self) -> List[float]:
+        return [e.build_seconds for e in self.engines if not e.failed]
+
+    @property
+    def failures(self) -> List[EngineResult]:
+        return [e for e in self.engines if e.failed]
+
+
+def run_evaluation(
+    subset: str = "all",
+    limit: Optional[int] = None,
+    config: Optional[MSEConfig] = None,
+    progress: bool = False,
+) -> EvaluationRun:
+    """Evaluate MSE over (a subset of) the corpus."""
+    run = EvaluationRun()
+    for engine_pages in iter_corpus(subset, limit=limit):
+        result = evaluate_engine(engine_pages, config)
+        run.engines.append(result)
+        run.rows.merge(result.rows)
+        if progress:
+            total = result.rows.total_sections
+            print(
+                f"engine {result.engine_id:3d}: actual={total.actual:3d} "
+                f"perfect={total.perfect:3d} partial={total.partial:3d} "
+                f"extracted={total.extracted:3d} "
+                f"build={result.build_seconds:.2f}s"
+                + (f"  FAILED: {result.error}" if result.failed else ""),
+                file=sys.stderr,
+            )
+    return run
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--table",
+        choices=["1", "2", "3", "all"],
+        default="all",
+        help="which paper table to regenerate",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, help="cap the number of engines"
+    )
+    parser.add_argument(
+        "--progress", action="store_true", help="per-engine progress on stderr"
+    )
+    parser.add_argument(
+        "--breakdown",
+        choices=["template", "style", "sections", "junk"],
+        default=None,
+        help="also print results grouped by an engine property",
+    )
+    parser.add_argument(
+        "--csv", default=None, help="write per-engine results to a CSV file"
+    )
+    args = parser.parse_args(argv)
+
+    want = {"1", "2", "3"} if args.table == "all" else {args.table}
+
+    run_all = run_evaluation("all", args.limit, progress=args.progress)
+    if "2" in want and args.limit is None:
+        run_multi = run_evaluation("multi", None, progress=args.progress)
+    else:
+        # With a limit, derive the multi-section subset from the same run.
+        run_multi = EvaluationRun()
+        from repro.testbed.corpus import SINGLE_SECTION_ENGINES
+
+        for result in run_all.engines:
+            if result.engine_id >= SINGLE_SECTION_ENGINES:
+                run_multi.engines.append(result)
+                run_multi.rows.merge(result.rows)
+
+    if "1" in want:
+        print(render_section_table(run_all.rows, "Table 1. Section extraction results on all engines"))
+        print()
+    if "2" in want:
+        print(render_section_table(run_multi.rows, "Table 2. Section extraction results on multi-section engines"))
+        print()
+    if "3" in want:
+        print(render_record_table(run_all.rows, "Table 3. Record extraction results on correctly extracted sections"))
+        print()
+
+    if args.breakdown:
+        print(f"Breakdown by {args.breakdown}:")
+        for label, rows in breakdown(run_all, args.breakdown):
+            total = rows.total_sections
+            print(
+                f"  {label:14s} actual={total.actual:4d} "
+                f"recall {100 * total.recall_perfect:5.1f}/"
+                f"{100 * total.recall_total:5.1f}  "
+                f"precision {100 * total.precision_perfect:5.1f}/"
+                f"{100 * total.precision_total:5.1f}"
+            )
+        print()
+
+    if args.csv:
+        write_engine_csv(run_all, args.csv)
+        print(f"per-engine results written to {args.csv}")
+
+    if run_all.failures:
+        print(f"({len(run_all.failures)} engines failed wrapper induction)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

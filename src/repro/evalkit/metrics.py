@@ -1,0 +1,117 @@
+"""Aggregated section / record extraction metrics (paper Tables 1-3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from repro.evalkit.matching import PageGrade
+
+
+@dataclass
+class SectionCounts:
+    """Counters backing one row of Table 1 / Table 2."""
+
+    actual: int = 0
+    extracted: int = 0
+    perfect: int = 0
+    partial: int = 0
+
+    def add_grade(self, grade: PageGrade, truth_section_count: int) -> None:
+        """Fold one page's grade into the counters."""
+        self.actual += truth_section_count
+        self.extracted += len(grade.matches)
+        self.perfect += grade.perfect_count
+        self.partial += grade.partial_count
+
+    def merge(self, other: "SectionCounts") -> None:
+        self.actual += other.actual
+        self.extracted += other.extracted
+        self.perfect += other.perfect
+        self.partial += other.partial
+
+    # -- Table 1/2 derived columns ------------------------------------------
+    @property
+    def recall_perfect(self) -> float:
+        return _ratio(self.perfect, self.actual)
+
+    @property
+    def recall_total(self) -> float:
+        return _ratio(self.perfect + self.partial, self.actual)
+
+    @property
+    def precision_perfect(self) -> float:
+        return _ratio(self.perfect, self.extracted)
+
+    @property
+    def precision_total(self) -> float:
+        return _ratio(self.perfect + self.partial, self.extracted)
+
+
+@dataclass
+class RecordCounts:
+    """Counters backing one row of Table 3.
+
+    Per the paper, record extraction is scored over the perfectly and
+    partially correctly extracted sections only.
+    """
+
+    actual: int = 0
+    extracted: int = 0
+    correct: int = 0
+
+    def add_grade(self, grade: PageGrade) -> None:
+        for match in grade.matches:
+            if not (match.perfect or match.partial):
+                continue
+            assert match.truth is not None
+            self.actual += match.truth.record_count
+            self.extracted += len(match.extracted.records)
+            self.correct += match.correct_records
+
+    def merge(self, other: "RecordCounts") -> None:
+        self.actual += other.actual
+        self.extracted += other.extracted
+        self.correct += other.correct
+
+    @property
+    def recall(self) -> float:
+        return _ratio(self.correct, self.actual)
+
+    @property
+    def precision(self) -> float:
+        return _ratio(self.correct, self.extracted)
+
+
+@dataclass
+class EvalRows:
+    """Sample-page / test-page / total rows for one experiment run."""
+
+    sample_sections: SectionCounts = field(default_factory=SectionCounts)
+    test_sections: SectionCounts = field(default_factory=SectionCounts)
+    sample_records: RecordCounts = field(default_factory=RecordCounts)
+    test_records: RecordCounts = field(default_factory=RecordCounts)
+
+    @property
+    def total_sections(self) -> SectionCounts:
+        total = SectionCounts()
+        total.merge(self.sample_sections)
+        total.merge(self.test_sections)
+        return total
+
+    @property
+    def total_records(self) -> RecordCounts:
+        total = RecordCounts()
+        total.merge(self.sample_records)
+        total.merge(self.test_records)
+        return total
+
+    def merge(self, other: "EvalRows") -> None:
+        self.sample_sections.merge(other.sample_sections)
+        self.test_sections.merge(other.test_sections)
+        self.sample_records.merge(other.sample_records)
+        self.test_records.merge(other.test_records)
+
+
+def _ratio(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator else 0.0

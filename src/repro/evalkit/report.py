@@ -1,0 +1,59 @@
+"""Plain-text renderers for the paper-shaped result tables."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.evalkit.metrics import EvalRows, RecordCounts, SectionCounts
+
+
+def _pct(value: float) -> str:
+    return f"{100.0 * value:5.1f}"
+
+
+def render_section_table(rows: EvalRows, title: str) -> str:
+    """Table 1 / Table 2 layout: per-row section extraction results."""
+    header = (
+        f"{'':8s} {'#Actual':>8s} {'#Extracted':>11s} {'#Perfect':>9s} "
+        f"{'#Partial':>9s} {'Rec%Perf':>9s} {'Rec%Tot':>8s} "
+        f"{'Prec%Perf':>10s} {'Prec%Tot':>9s}"
+    )
+    lines: List[str] = [title, header, "-" * len(header)]
+    for label, counts in (
+        ("S pgs", rows.sample_sections),
+        ("T pgs", rows.test_sections),
+        ("Total", rows.total_sections),
+    ):
+        lines.append(_section_row(label, counts))
+    return "\n".join(lines)
+
+
+def _section_row(label: str, c: SectionCounts) -> str:
+    return (
+        f"{label:8s} {c.actual:8d} {c.extracted:11d} {c.perfect:9d} "
+        f"{c.partial:9d} {_pct(c.recall_perfect):>9s} {_pct(c.recall_total):>8s} "
+        f"{_pct(c.precision_perfect):>10s} {_pct(c.precision_total):>9s}"
+    )
+
+
+def render_record_table(rows: EvalRows, title: str) -> str:
+    """Table 3 layout: record extraction over perfect+partial sections."""
+    header = (
+        f"{'':8s} {'#Actual':>8s} {'#Extracted':>11s} {'#Correct':>9s} "
+        f"{'Recall%':>8s} {'Precision%':>11s}"
+    )
+    lines: List[str] = [title, header, "-" * len(header)]
+    for label, counts in (
+        ("S pgs", rows.sample_records),
+        ("T pgs", rows.test_records),
+        ("Total", rows.total_records),
+    ):
+        lines.append(_record_row(label, counts))
+    return "\n".join(lines)
+
+
+def _record_row(label: str, c: RecordCounts) -> str:
+    return (
+        f"{label:8s} {c.actual:8d} {c.extracted:11d} {c.correct:9d} "
+        f"{_pct(c.recall):>8s} {_pct(c.precision):>11s}"
+    )

@@ -1,0 +1,97 @@
+"""Bootstrap confidence intervals for the evaluation metrics.
+
+The paper reports point estimates only; when comparing configurations
+(ablations, baselines, parameter sweeps) on a finite engine sample, it
+helps to know how much of a difference is noise.  This module resamples
+*engines* with replacement — engines are the independent sampling unit
+(pages within an engine share a wrapper) — and reports percentile
+intervals for any metric derived from the aggregated counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.evalkit.harness import EngineResult, EvaluationRun
+from repro.evalkit.metrics import EvalRows, SectionCounts
+
+MetricFn = Callable[[SectionCounts], float]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A point estimate with a percentile bootstrap interval."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return (
+            f"{100 * self.point:.1f} "
+            f"[{100 * self.low:.1f}, {100 * self.high:.1f}]"
+        )
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether two intervals overlap (a coarse significance check)."""
+        return self.low <= other.high and other.low <= self.high
+
+
+def _aggregate(results: Sequence[EngineResult]) -> SectionCounts:
+    rows = EvalRows()
+    for result in results:
+        rows.merge(result.rows)
+    return rows.total_sections
+
+
+def bootstrap_metric(
+    run: EvaluationRun,
+    metric: MetricFn,
+    samples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Interval:
+    """Percentile bootstrap over engines for one metric.
+
+    ``metric`` maps the aggregated :class:`SectionCounts` to a number,
+    e.g. ``lambda c: c.recall_total``.  Deterministic for a given seed.
+    """
+    if not run.engines:
+        raise ValueError("cannot bootstrap an empty run")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+
+    rng = random.Random(seed)
+    point = metric(_aggregate(run.engines))
+
+    values: List[float] = []
+    n = len(run.engines)
+    for _ in range(samples):
+        resample = [run.engines[rng.randrange(n)] for _ in range(n)]
+        values.append(metric(_aggregate(resample)))
+    values.sort()
+
+    alpha = (1.0 - confidence) / 2.0
+    low_index = max(0, int(alpha * samples))
+    high_index = min(samples - 1, int((1.0 - alpha) * samples))
+    return Interval(
+        point=point,
+        low=values[low_index],
+        high=values[high_index],
+        confidence=confidence,
+    )
+
+
+def recall_precision_intervals(
+    run: EvaluationRun, samples: int = 1000, seed: int = 0
+) -> Tuple[Interval, Interval, Interval, Interval]:
+    """(recall perfect, recall total, precision perfect, precision total)."""
+    return (
+        bootstrap_metric(run, lambda c: c.recall_perfect, samples, seed=seed),
+        bootstrap_metric(run, lambda c: c.recall_total, samples, seed=seed + 1),
+        bootstrap_metric(run, lambda c: c.precision_perfect, samples, seed=seed + 2),
+        bootstrap_metric(run, lambda c: c.precision_total, samples, seed=seed + 3),
+    )

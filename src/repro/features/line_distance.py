@@ -1,0 +1,49 @@
+"""Line-level distances: Dtl, Dpl, Dtal and Dline (Formulas 2-3)."""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet
+
+from repro.features.config import DEFAULT_CONFIG, FeatureConfig
+from repro.render.lines import ContentLine
+from repro.render.linetypes import type_distance
+from repro.render.styles import TextAttr
+
+
+def position_distance(
+    pc1: int, pc2: int, config: FeatureConfig = DEFAULT_CONFIG
+) -> float:
+    """Dpl = K * log(1 + |pc1 - pc2|), clamped to [0, 1] (paper §4.3).
+
+    With K = 0.127 the value stays below 1 for position gaps up to
+    ~2600 px; the paper notes K "will restrict Dpl to be between 0 to 1 in
+    most cases" — we clamp the rest.
+    """
+    value = config.position_k * math.log1p(abs(pc1 - pc2))
+    return min(1.0, value)
+
+
+def text_attr_distance(la1: FrozenSet[TextAttr], la2: FrozenSet[TextAttr]) -> float:
+    """Dtal (Formula 2): 1 - |la1 ∩ la2| / max(|la1|, |la2|).
+
+    Two empty attribute sets are identical (distance 0).
+    """
+    larger = max(len(la1), len(la2))
+    if larger == 0:
+        return 0.0
+    return 1.0 - len(la1 & la2) / larger
+
+
+def line_distance(
+    line1: ContentLine,
+    line2: ContentLine,
+    config: FeatureConfig = DEFAULT_CONFIG,
+) -> float:
+    """Dline (Formula 3): weighted sum of type, position and attr distances."""
+    u1, u2, u3 = config.line_weights
+    return (
+        u1 * type_distance(line1.line_type, line2.line_type)
+        + u2 * position_distance(line1.position, line2.position, config)
+        + u3 * text_attr_distance(line1.attrs, line2.attrs)
+    )

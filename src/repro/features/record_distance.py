@@ -1,0 +1,108 @@
+"""Block/record-level distances: Dtf, Dbt, Dbs, Dbp, Dbta and Drec (F4)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+from repro.algorithms.string_edit import edit_distance, normalized_edit_distance
+from repro.algorithms.tree_edit import forest_distance as _tree_forest_distance
+from repro.features.blocks import Block
+from repro.features.config import DEFAULT_CONFIG, FeatureConfig
+from repro.features.line_distance import position_distance, text_attr_distance
+from repro.render.linetypes import type_distance
+
+
+def block_type_distance(block1: Block, block2: Block) -> float:
+    """Dbt: normalized edit distance between the blocks' type-code strings.
+
+    Substitution cost is the line type distance, so e.g. LINK vs LINK_TEXT
+    lines count as near-matches.  Normalized to [0, 1] by the longer block.
+    """
+    return normalized_edit_distance(
+        block1.type_codes, block2.type_codes, substitution_cost=type_distance
+    )
+
+
+def block_shape_distance(
+    block1: Block, block2: Block, config: FeatureConfig = DEFAULT_CONFIG
+) -> float:
+    """Dbs: normalized edit distance between the blocks' left contours.
+
+    Shapes are relative offsets from each block's own first line, and the
+    substitution cost of two offsets is their (bounded) position distance,
+    giving a value in [0, 1].
+    """
+
+    def offset_cost(a: int, b: int) -> float:
+        return position_distance(a, b, config)
+
+    return normalized_edit_distance(block1.shape, block2.shape, substitution_cost=offset_cost)
+
+
+def block_position_distance(
+    block1: Block, block2: Block, config: FeatureConfig = DEFAULT_CONFIG
+) -> float:
+    """Dbp: position distance between the blocks' own position codes."""
+    return position_distance(block1.position, block2.position, config)
+
+
+def block_text_attr_distance(block1: Block, block2: Block) -> float:
+    """Dbta: normalized edit distance between the blocks' attribute lists.
+
+    Substitution cost is Dtal (Formula 2), per §4.2.
+    """
+    return normalized_edit_distance(
+        block1.text_attrs, block2.text_attrs, substitution_cost=text_attr_distance
+    )
+
+
+def tag_forest_distance(block1: Block, block2: Block) -> float:
+    """Dtf: normalized edit distance between the blocks' tag forests."""
+    return _tree_forest_distance(block1.tag_forest(), block2.tag_forest())
+
+
+def record_distance(
+    block1: Block,
+    block2: Block,
+    config: FeatureConfig = DEFAULT_CONFIG,
+) -> float:
+    """Drec (Formula 4): weighted sum of the five block distances."""
+    v1, v2, v3, v4, v5 = config.record_weights
+    return (
+        v1 * tag_forest_distance(block1, block2)
+        + v2 * block_type_distance(block1, block2)
+        + v3 * block_shape_distance(block1, block2, config)
+        + v4 * block_position_distance(block1, block2, config)
+        + v5 * block_text_attr_distance(block1, block2)
+    )
+
+
+class RecordDistanceCache:
+    """Memoizes pairwise record distances within one extraction run.
+
+    Refinement and granularity analysis recompute Drec for the same block
+    pairs many times; blocks hash by (page, start, end) so a small dict
+    cache removes the duplicate tree-edit work.
+    """
+
+    def __init__(self, config: FeatureConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+        self._cache: Dict[Tuple[Tuple[int, int, int], Tuple[int, int, int]], float] = {}
+
+    def distance(self, block1: Block, block2: Block) -> float:
+        """Drec with memoization (symmetric)."""
+        key1 = (id(block1.page), block1.start, block1.end)
+        key2 = (id(block2.page), block2.start, block2.end)
+        key = (key1, key2) if key1 <= key2 else (key2, key1)
+        found = self._cache.get(key)
+        if found is None:
+            found = record_distance(block1, block2, self.config)
+            self._cache[key] = found
+        return found
+
+    def average_to_group(self, block: Block, group: Sequence[Block]) -> float:
+        """Davgrs(block, group): mean Drec from ``block`` to each member."""
+        if not group:
+            return 0.0
+        return sum(self.distance(block, member) for member in group) / len(group)

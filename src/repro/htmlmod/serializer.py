@@ -1,0 +1,45 @@
+"""Serialize a DOM back to HTML markup.
+
+Used by the test-bed page factory (pages are built as DOM trees and
+serialized to HTML so the extractor parses real markup, not a shortcut
+in-memory structure) and by round-trip tests.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import List
+
+from repro.htmlmod.dom import Comment, Document, Element, Node, Text
+from repro.htmlmod.parser import VOID_ELEMENTS
+
+
+def serialize_node(node: Node) -> str:
+    """Serialize a single DOM node (recursively) to HTML."""
+    parts: List[str] = []
+    _write(node, parts)
+    return "".join(parts)
+
+
+def serialize(document: Document) -> str:
+    """Serialize a whole document, including its doctype if present."""
+    prefix = f"<!{document.doctype}>" if document.doctype else "<!DOCTYPE html>"
+    return prefix + serialize_node(document.root)
+
+
+def _write(node: Node, parts: List[str]) -> None:
+    if isinstance(node, Text):
+        parts.append(escape(node.data, quote=False))
+    elif isinstance(node, Comment):
+        parts.append(f"<!--{node.data}-->")
+    elif isinstance(node, Element):
+        attrs = "".join(
+            f' {name}="{escape(value, quote=True)}"' for name, value in node.attrs.items()
+        )
+        if node.tag in VOID_ELEMENTS:
+            parts.append(f"<{node.tag}{attrs}>")
+            return
+        parts.append(f"<{node.tag}{attrs}>")
+        for child in node.children:
+            _write(child, parts)
+        parts.append(f"</{node.tag}>")

@@ -1,0 +1,131 @@
+"""HTML token stream.
+
+The DOM builder in :mod:`repro.htmlmod.parser` consumes a flat stream of
+tokens rather than driving tree construction straight from callbacks.  This
+keeps the tokenizer independently testable and makes the tree-construction
+rules (implied end tags, void elements) explicit.
+
+The tokenizer itself is built on :class:`html.parser.HTMLParser` from the
+standard library, which handles the gritty lexical details (attribute
+quoting styles, comments, doctypes, character references) and is tolerant
+of the malformed markup that real search-engine result pages are full of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class Token:
+    """Base class for lexical tokens produced by :func:`tokenize`."""
+
+
+@dataclass(frozen=True)
+class StartTag(Token):
+    """An opening tag, e.g. ``<td class="r">``.
+
+    ``self_closing`` is set for XML-style ``<br/>`` spellings; the tree
+    builder also treats all HTML void elements as self-closing regardless
+    of spelling.
+    """
+
+    name: str
+    attrs: Tuple[Tuple[str, str], ...] = ()
+    self_closing: bool = False
+
+    def get(self, attr: str, default: str = "") -> str:
+        """Return the first value of ``attr`` (lowercase), or ``default``."""
+        for key, value in self.attrs:
+            if key == attr:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class EndTag(Token):
+    """A closing tag, e.g. ``</td>``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class TextToken(Token):
+    """A run of character data (entities already decoded)."""
+
+    data: str
+
+
+@dataclass(frozen=True)
+class CommentToken(Token):
+    """An HTML comment; preserved so the DOM can round-trip pages."""
+
+    data: str
+
+
+@dataclass(frozen=True)
+class DoctypeToken(Token):
+    """A ``<!DOCTYPE ...>`` declaration."""
+
+    data: str
+
+
+#: Elements whose content is raw text: the tokenizer must not interpret
+#: tags inside them.  ``html.parser`` handles script/style natively (CDATA
+#: mode); we normalise their contents into a single TextToken.
+RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
+
+
+class _CollectingParser(HTMLParser):
+    """HTMLParser subclass that records tokens into a list."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.tokens: List[Token] = []
+
+    # -- HTMLParser callbacks -------------------------------------------
+    def handle_starttag(self, tag: str, attrs) -> None:  # noqa: D102
+        cleaned = tuple(
+            (name.lower(), value if value is not None else "") for name, value in attrs
+        )
+        self.tokens.append(StartTag(tag.lower(), cleaned))
+
+    def handle_startendtag(self, tag: str, attrs) -> None:  # noqa: D102
+        cleaned = tuple(
+            (name.lower(), value if value is not None else "") for name, value in attrs
+        )
+        self.tokens.append(StartTag(tag.lower(), cleaned, self_closing=True))
+
+    def handle_endtag(self, tag: str) -> None:  # noqa: D102
+        self.tokens.append(EndTag(tag.lower()))
+
+    def handle_data(self, data: str) -> None:  # noqa: D102
+        if data:
+            self.tokens.append(TextToken(data))
+
+    def handle_comment(self, data: str) -> None:  # noqa: D102
+        self.tokens.append(CommentToken(data))
+
+    def handle_decl(self, decl: str) -> None:  # noqa: D102
+        self.tokens.append(DoctypeToken(decl))
+
+
+def tokenize(markup: str) -> List[Token]:
+    """Tokenize an HTML document into a flat list of tokens.
+
+    Entities are decoded, tag and attribute names are lowercased, and
+    attribute values with no ``=value`` part become empty strings.  The
+    tokenizer never raises on malformed markup; unparseable fragments
+    degrade to text.
+    """
+    parser = _CollectingParser()
+    parser.feed(markup)
+    parser.close()
+    return parser.tokens
+
+
+def iter_tokens(markup: str) -> Iterator[Token]:
+    """Iterate over the tokens of ``markup`` (see :func:`tokenize`)."""
+    return iter(tokenize(markup))

@@ -1,0 +1,191 @@
+"""Content lines and rendered pages (paper §4.2).
+
+A *content line* is a group of characters that visually form one
+horizontal line on the rendered page.  Each carries the visual features
+the paper's measures consume — type code, position code (left x), and the
+set of text attributes — plus links back into the DOM so tag-structure
+features (tag paths, tag forests) can be computed for any span of lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.htmlmod.dom import Document, Element, Node, Text
+from repro.render.linetypes import LineType
+from repro.render.styles import TextAttr
+from repro.tagpath.paths import TagPath
+
+
+@dataclass
+class ContentLine:
+    """One rendered horizontal line of content."""
+
+    number: int
+    text: str
+    line_type: LineType
+    position: int
+    attrs: FrozenSet[TextAttr]
+    width: int
+    leaves: Tuple[Node, ...]
+    #: text with dynamic components removed; filled in by DSE cleaning
+    cleaned: str = ""
+
+    _tag_path: Optional[TagPath] = field(default=None, repr=False, compare=False)
+
+    @property
+    def anchor_element(self) -> Element:
+        """The element that directly contains the line's first leaf."""
+        first = self.leaves[0]
+        if isinstance(first, Element):
+            return first
+        assert first.parent is not None
+        return first.parent
+
+    @property
+    def tag_path(self) -> TagPath:
+        """Compact tag path to the line's first leaf (cached)."""
+        if self._tag_path is None:
+            self._tag_path = TagPath.to_node(self.leaves[0])
+        return self._tag_path
+
+    def __str__(self) -> str:
+        preview = self.text if len(self.text) <= 50 else self.text[:47] + "..."
+        return (
+            f"[{self.number:3d}] x={self.position:<4d} "
+            f"{self.line_type.name:<10s} {preview!r}"
+        )
+
+
+class RenderedPage:
+    """A document plus its content lines, with DOM <-> line mapping."""
+
+    def __init__(self, document: Document, lines: Sequence[ContentLine]) -> None:
+        self.document = document
+        self.lines: List[ContentLine] = list(lines)
+        self._leaf_to_line: Dict[int, int] = {}
+        for line in self.lines:
+            for leaf in line.leaves:
+                self._leaf_to_line[id(leaf)] = line.number
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __getitem__(self, index: int) -> ContentLine:
+        return self.lines[index]
+
+    def line_of_node(self, node: Node) -> Optional[int]:
+        """The line number rendering ``node``, if it is (or contains) a leaf."""
+        direct = self._leaf_to_line.get(id(node))
+        if direct is not None:
+            return direct
+        if isinstance(node, Element):
+            for descendant in node.iter():
+                found = self._leaf_to_line.get(id(descendant))
+                if found is not None:
+                    return found
+        return None
+
+    def line_range_of_element(self, element: Element) -> Optional[Tuple[int, int]]:
+        """The [first, last] line numbers covered by an element, if any."""
+        numbers = [
+            self._leaf_to_line[id(node)]
+            for node in element.iter()
+            if id(node) in self._leaf_to_line
+        ]
+        if not numbers:
+            return None
+        return min(numbers), max(numbers)
+
+    # -- tag-structure helpers -----------------------------------------------
+    def span_forest(self, start: int, end: int) -> List[Element]:
+        """The tag forest of lines ``start..end`` inclusive.
+
+        Finds the deepest element containing every leaf of the span and
+        returns the consecutive run of its children that covers the span.
+        This is the "tag forest underneath a record/section" of §4.1.
+        """
+        leaves: List[Node] = []
+        for line in self.lines[start : end + 1]:
+            leaves.extend(line.leaves)
+        if not leaves:
+            return []
+        ancestor = deepest_common_ancestor(leaves)
+        if ancestor is None:
+            return []
+        leaf_ids = {id(leaf) for leaf in leaves}
+        first_index = last_index = None
+        for i, child in enumerate(ancestor.children):
+            if _contains_any(child, leaf_ids):
+                if first_index is None:
+                    first_index = i
+                last_index = i
+        if first_index is None or last_index is None:
+            return []
+        forest = [
+            child
+            for child in ancestor.children[first_index : last_index + 1]
+            if isinstance(child, Element)
+        ]
+        if not forest:
+            # All leaves are direct text children of the ancestor (e.g. a
+            # bare title line inside an <a>): the forest degenerates to
+            # the ancestor element itself.
+            return [ancestor]
+        return forest
+
+    def span_subtree(self, start: int, end: int) -> Optional[Element]:
+        """The minimum subtree containing lines ``start..end`` inclusive."""
+        leaves: List[Node] = []
+        for line in self.lines[start : end + 1]:
+            leaves.extend(line.leaves)
+        if not leaves:
+            return None
+        return deepest_common_ancestor(leaves)
+
+    def dump(self) -> str:
+        """A human-readable rendering of the content lines (for examples)."""
+        return "\n".join(str(line) for line in self.lines)
+
+
+def deepest_common_ancestor(nodes: Sequence[Node]) -> Optional[Element]:
+    """The deepest element that is an ancestor of every node in ``nodes``.
+
+    A node that is itself an element counts as its own ancestor.
+    """
+    if not nodes:
+        return None
+
+    def chain(node: Node) -> List[Element]:
+        out: List[Element] = []
+        if isinstance(node, Element):
+            out.append(node)
+        out.extend(node.ancestors())
+        out.reverse()  # root first
+        return out
+
+    chains = [chain(node) for node in nodes]
+    shortest = min(len(c) for c in chains)
+    ancestor: Optional[Element] = None
+    for depth in range(shortest):
+        candidate = chains[0][depth]
+        if all(c[depth] is candidate for c in chains):
+            ancestor = candidate
+        else:
+            break
+    return ancestor
+
+
+def _contains_any(node: Node, leaf_ids: frozenset) -> bool:
+    if id(node) in leaf_ids:
+        return True
+    if isinstance(node, Element):
+        stack: List[Node] = list(node.children)
+        while stack:
+            current = stack.pop()
+            if id(current) in leaf_ids:
+                return True
+            if isinstance(current, Element):
+                stack.extend(current.children)
+    return False

@@ -1,0 +1,66 @@
+"""Content line types and the type distance ``Dtl``.
+
+ViNTs (and §4.2 of this paper) classifies every rendered content line into
+one of eight *type codes* capturing its basic appearance.  The exact eight
+types of [29] are not enumerated in either paper; we use the natural set
+below, which covers everything a result page displays:
+
+====  ===========  ============================================
+code  type         a line consisting of ...
+====  ===========  ============================================
+1     TEXT         plain text only
+2     LINK         anchor text only
+3     LINK_TEXT    anchors mixed with plain text
+4     IMAGE        images only
+5     IMAGE_TEXT   images mixed with text and/or anchors
+6     FORM         form controls (input/select/button/textarea)
+7     HR           a horizontal rule
+8     HEADING      text inside h1..h6
+====  ===========  ============================================
+
+``type_distance`` returns a value in [0, 1]; types that commonly appear in
+the same role on result pages (e.g. LINK vs LINK_TEXT — a title line with
+or without surrounding plain text) are close, unrelated types are far.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict, Tuple
+
+
+class LineType(IntEnum):
+    """Visual type code of a content line."""
+
+    TEXT = 1
+    LINK = 2
+    LINK_TEXT = 3
+    IMAGE = 4
+    IMAGE_TEXT = 5
+    FORM = 6
+    HR = 7
+    HEADING = 8
+
+
+# Pairwise distances for "related" type pairs; everything else is 1.0 and
+# the diagonal is 0.0.  Symmetric by construction.
+_RELATED: Dict[Tuple[LineType, LineType], float] = {
+    (LineType.LINK, LineType.LINK_TEXT): 0.3,
+    (LineType.TEXT, LineType.LINK_TEXT): 0.4,
+    (LineType.TEXT, LineType.LINK): 0.6,
+    (LineType.IMAGE, LineType.IMAGE_TEXT): 0.3,
+    (LineType.TEXT, LineType.IMAGE_TEXT): 0.6,
+    (LineType.LINK_TEXT, LineType.IMAGE_TEXT): 0.5,
+    (LineType.LINK, LineType.IMAGE_TEXT): 0.6,
+    (LineType.TEXT, LineType.HEADING): 0.5,
+    (LineType.LINK, LineType.HEADING): 0.6,
+    (LineType.LINK_TEXT, LineType.HEADING): 0.6,
+}
+
+
+def type_distance(type1: LineType, type2: LineType) -> float:
+    """Distance between two line type codes, in [0, 1]."""
+    if type1 == type2:
+        return 0.0
+    key = (type1, type2) if type1 <= type2 else (type2, type1)
+    return _RELATED.get(key, 1.0)

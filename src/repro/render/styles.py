@@ -1,0 +1,170 @@
+"""Text attribute resolution (paper §4.2).
+
+A *text attribute* is the quaternion ⟨font, size, style, color⟩ of a piece
+of rendered text.  This module resolves text attributes from the HTML
+context: presentational tags (``<b>``, ``<i>``, ``<font>``, ``<h1>``...),
+legacy attributes (``face``, ``size``, ``color``) and a practical subset of
+inline CSS (``font-family``, ``font-size``, ``font-weight``,
+``font-style``, ``color``) — the styling vocabulary of 2006-era result
+pages.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+DEFAULT_FONT = "times new roman"
+DEFAULT_SIZE = 12
+DEFAULT_COLOR = "black"
+
+#: font-size for <h1>..<h6>
+_HEADING_SIZES = {"h1": 24, "h2": 20, "h3": 16, "h4": 14, "h5": 12, "h6": 10}
+
+#: legacy <font size=1..7> to pixels
+_FONT_SIZE_STEPS = {1: 8, 2: 10, 3: 12, 4: 14, 5: 18, 6: 24, 7: 32}
+
+_STYLE_DECL_RE = re.compile(r"([a-zA-Z-]+)\s*:\s*([^;]+)")
+_PX_RE = re.compile(r"(\d+(?:\.\d+)?)\s*(px|pt)?")
+
+
+@dataclass(frozen=True)
+class TextAttr:
+    """⟨font, size, style, color⟩ of a run of text.
+
+    ``style`` is one of ``plain``, ``bold``, ``italic``, ``bold italic``;
+    ``underline`` rides along as a separate flag because anchors are the
+    dominant underline source and are useful to distinguish.
+    """
+
+    font: str = DEFAULT_FONT
+    size: int = DEFAULT_SIZE
+    style: str = "plain"
+    color: str = DEFAULT_COLOR
+    underline: bool = False
+
+    @property
+    def bold(self) -> bool:
+        return "bold" in self.style
+
+    @property
+    def italic(self) -> bool:
+        return "italic" in self.style
+
+    def __str__(self) -> str:
+        flags = self.style + ("+u" if self.underline else "")
+        return f"<{self.font},{self.size},{flags},{self.color}>"
+
+
+def _combine_style(bold: bool, italic: bool) -> str:
+    if bold and italic:
+        return "bold italic"
+    if bold:
+        return "bold"
+    if italic:
+        return "italic"
+    return "plain"
+
+
+def parse_inline_style(style_text: str) -> Dict[str, str]:
+    """Parse a ``style="..."`` attribute into a property dict (lowercased)."""
+    properties: Dict[str, str] = {}
+    for match in _STYLE_DECL_RE.finditer(style_text):
+        properties[match.group(1).strip().lower()] = match.group(2).strip().lower()
+    return properties
+
+
+def _parse_size(value: str, current: int) -> int:
+    value = value.strip().lower()
+    keywords = {
+        "xx-small": 8, "x-small": 9, "small": 10, "smaller": max(8, current - 2),
+        "medium": 12, "large": 14, "larger": current + 2, "x-large": 18,
+        "xx-large": 24,
+    }
+    if value in keywords:
+        return keywords[value]
+    match = _PX_RE.match(value)
+    if match:
+        number = float(match.group(1))
+        if match.group(2) == "pt":
+            number *= 4.0 / 3.0
+        return max(6, int(round(number)))
+    return current
+
+
+def apply_element_style(attr: TextAttr, tag: str, attrs: Dict[str, str]) -> TextAttr:
+    """Return ``attr`` updated for entering an element.
+
+    This is the single place encoding how tags affect text attributes; the
+    layout engine pushes the result onto its style stack.
+    """
+    font = attr.font
+    size = attr.size
+    bold = attr.bold
+    italic = attr.italic
+    color = attr.color
+    underline = attr.underline
+
+    if tag in ("b", "strong", "th"):
+        bold = True
+    elif tag in ("i", "em", "cite", "var"):
+        italic = True
+    elif tag == "u":
+        underline = True
+    elif tag in _HEADING_SIZES:
+        size = _HEADING_SIZES[tag]
+        bold = True
+    elif tag == "big":
+        size += 2
+    elif tag in ("small", "sub", "sup"):
+        size = max(6, size - 2)
+    elif tag == "a" and ("href" in attrs):
+        color = "blue"
+        underline = True
+    elif tag == "font":
+        face = attrs.get("face")
+        if face:
+            font = face.split(",")[0].strip().lower()
+        legacy = attrs.get("size")
+        if legacy:
+            legacy = legacy.strip()
+            try:
+                if legacy.startswith(("+", "-")):
+                    # Relative legacy sizes step from size 3 (12px).
+                    step = max(1, min(7, 3 + int(legacy)))
+                else:
+                    step = max(1, min(7, int(legacy)))
+                size = _FONT_SIZE_STEPS[step]
+            except ValueError:
+                pass
+        if attrs.get("color"):
+            color = attrs["color"].strip().lower()
+    elif tag in ("tt", "code", "pre", "kbd", "samp"):
+        font = "courier new"
+
+    if attrs.get("color") and tag != "font":
+        color = attrs["color"].strip().lower()
+
+    style_attr = attrs.get("style")
+    if style_attr:
+        css = parse_inline_style(style_attr)
+        if "font-family" in css:
+            font = css["font-family"].split(",")[0].strip().strip("'\"")
+        if "font-size" in css:
+            size = _parse_size(css["font-size"], size)
+        if "font-weight" in css:
+            bold = css["font-weight"] in ("bold", "bolder", "600", "700", "800", "900")
+        if "font-style" in css:
+            italic = css["font-style"] in ("italic", "oblique")
+        if "color" in css:
+            color = css["color"]
+        if "text-decoration" in css:
+            underline = "underline" in css["text-decoration"]
+
+    return TextAttr(font, size, _combine_style(bold, italic), color, underline)
+
+
+def default_attr() -> TextAttr:
+    """The attribute of body text with no styling applied."""
+    return TextAttr()

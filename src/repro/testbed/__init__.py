@@ -1,0 +1,46 @@
+"""Synthetic search-engine test bed with embedded ground truth.
+
+Replaces the paper's manually collected result pages from 119 live search
+engines (unavailable) with deterministic, seeded page generators that
+reproduce the structural phenomena the MSE algorithm targets.
+"""
+
+from repro.testbed.corpus import (
+    CORPUS_SEED,
+    MULTI_SECTION_ENGINES,
+    PAGES_PER_ENGINE,
+    SAMPLE_PAGES,
+    SINGLE_SECTION_ENGINES,
+    TOTAL_ENGINES,
+    EnginePages,
+    boundary_marker_rate,
+    engine_ids,
+    iter_corpus,
+    load_engine_pages,
+    make_engine,
+)
+from repro.testbed.documents import RecordData, Repository
+from repro.testbed.engine import SectionSchemaSpec, SyntheticEngine
+from repro.testbed.groundtruth import PageTruth, TruthSection, compute_truth
+
+__all__ = [
+    "CORPUS_SEED",
+    "EnginePages",
+    "MULTI_SECTION_ENGINES",
+    "PAGES_PER_ENGINE",
+    "PageTruth",
+    "RecordData",
+    "Repository",
+    "SAMPLE_PAGES",
+    "SINGLE_SECTION_ENGINES",
+    "SectionSchemaSpec",
+    "SyntheticEngine",
+    "TOTAL_ENGINES",
+    "TruthSection",
+    "boundary_marker_rate",
+    "compute_truth",
+    "engine_ids",
+    "iter_corpus",
+    "load_engine_pages",
+    "make_engine",
+]

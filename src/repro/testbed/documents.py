@@ -1,0 +1,77 @@
+"""Synthetic document repositories.
+
+Each engine owns one repository per section schema (the paper's model:
+sections correspond to data repositories — Encyclopedia, News, ...).  A
+repository answers a query with a deterministic, query-dependent list of
+:class:`RecordData`; the hit count varies per query and can be zero, which
+is exactly what makes sections *dynamic* (and sometimes hidden from the
+sample pages).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.testbed import vocab
+
+
+@dataclass(frozen=True)
+class RecordData:
+    """The data of one search result record before rendering."""
+
+    title: str
+    url: str
+    snippet: Optional[str]
+    date: Optional[str]
+    price: Optional[str]
+    source: Optional[str]
+
+
+@dataclass
+class Repository:
+    """One section's backing data source.
+
+    ``seed`` individualizes the repository; ``min_hits``/``max_hits``
+    bound the per-query result count; ``empty_rate`` is the probability a
+    query retrieves nothing (the whole section then disappears from that
+    page — the hidden-section mechanism).  Field rates control optional
+    record parts, so records vary realistically *within* a section.
+    """
+
+    seed: int
+    topic: str
+    domain: str
+    min_hits: int = 1
+    max_hits: int = 8
+    empty_rate: float = 0.0
+    snippet_rate: float = 0.85
+    date_rate: float = 0.5
+    price_rate: float = 0.0
+    source_rate: float = 0.0
+
+    def retrieve(self, query: str) -> List[RecordData]:
+        """Deterministic results for ``query`` (same query -> same records)."""
+        # zlib.crc32 is stable across processes (str.__hash__ is not).
+        key = f"{self.seed}|{self.topic}|{query}".encode("utf-8")
+        rng = random.Random(zlib.crc32(key))
+        if self.empty_rate and rng.random() < self.empty_rate:
+            return []
+        count = rng.randint(self.min_hits, self.max_hits)
+        records: List[RecordData] = []
+        for _ in range(count):
+            records.append(
+                RecordData(
+                    title=vocab.make_title(rng, query),
+                    url=vocab.make_url(rng, self.domain),
+                    snippet=vocab.make_snippet(rng, query)
+                    if rng.random() < self.snippet_rate
+                    else None,
+                    date=vocab.make_date(rng) if rng.random() < self.date_rate else None,
+                    price=vocab.make_price(rng) if rng.random() < self.price_rate else None,
+                    source=f"{self.topic} desk" if rng.random() < self.source_rate else None,
+                )
+            )
+        return records

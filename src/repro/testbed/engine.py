@@ -1,0 +1,233 @@
+"""Synthetic search engines.
+
+A :class:`SyntheticEngine` is fully determined by its seed: its layout
+template, its section schemas (topic, repository, rendering style, header
+style, presence behaviour) and its noise features.  ``result_page(query)``
+emits the HTML a real engine would have returned for that query, with
+ground-truth markers embedded as ``data-gt-*`` attributes (see
+:mod:`repro.testbed.sections`).
+
+Difficulty features, matching the phenomena the paper discusses:
+
+- query-dependent sections (``empty_rate``) — the hidden-section problem;
+- multi-section engines where all sections share one format — the
+  non-uniform/granularity problems;
+- a *shared-table* variant where all sections are row ranges of a single
+  ``<tbody>`` (the paper's Figure 10 / Type-1-family structure);
+- sections without header markers (the paper found 3.1% of sections lack
+  explicit boundary markers);
+- static repeating chrome (portal template) and dynamic junk lines that
+  survive cleaning — MRE decoys and precision hazards;
+- records with optional fields, inline links in snippets, and occasional
+  non-sibling nesting — record-level error sources.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.htmlmod.dom import Document, Element
+from repro.htmlmod.serializer import serialize
+from repro.testbed import vocab
+from repro.testbed.documents import Repository
+from repro.testbed.sections import ALL_STYLES, SectionStyle, StyleOptions
+from repro.testbed.templates import ALL_TEMPLATES, PageTemplate
+
+HEADER_TAGS = ["h2", "h3", "b", "font", "div"]
+
+
+@dataclass
+class SectionSchemaSpec:
+    """One section schema of an engine's result page schema."""
+
+    sid: str
+    topic: str
+    repository: Repository
+    style: SectionStyle
+    has_header: bool = True
+
+    def header_text(self) -> Optional[str]:
+        return self.topic if self.has_header else None
+
+
+@dataclass
+class SyntheticEngine:
+    """One synthetic search engine of the test bed."""
+
+    engine_id: int
+    seed: int
+    name: str
+    template: PageTemplate
+    sections: List[SectionSchemaSpec]
+    options: StyleOptions
+    #: emit a per-page line that stays dynamic after cleaning (precision
+    #: hazard: it becomes a false one-record dynamic section)
+    dynamic_junk: bool = False
+    #: render all sections as row ranges of one shared <tbody>
+    shared_table: bool = False
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def generate(
+        cls, engine_id: int, seed: int, multi_section: bool
+    ) -> "SyntheticEngine":
+        """Deterministically instantiate engine ``engine_id`` from ``seed``."""
+        rng = random.Random(seed)
+        name = f"{vocab.pick(rng, vocab.DOMAINS)}-{engine_id:03d}"
+        template = ALL_TEMPLATES[rng.randrange(len(ALL_TEMPLATES))]
+
+        if multi_section:
+            n_sections = rng.randint(2, 5)
+        else:
+            n_sections = 1
+
+        shared_table = multi_section and rng.random() < 0.2
+        uniform_styles = multi_section and rng.random() < 0.5
+        base_style = ALL_STYLES[rng.randrange(len(ALL_STYLES))]
+
+        options = StyleOptions(
+            header_tag=vocab.pick(rng, HEADER_TAGS),
+            show_footer=rng.random() < 0.6,
+            inline_link_rate=0.15 if rng.random() < 0.5 else 0.0,
+            broken_nesting_rate=0.4 if rng.random() < 0.35 else 0.0,
+        )
+
+        topics = rng.sample(vocab.TOPICS, n_sections)
+        domain = vocab.pick(rng, vocab.DOMAINS)
+        sections: List[SectionSchemaSpec] = []
+        for index, topic in enumerate(topics):
+            if uniform_styles or shared_table:
+                style = base_style
+            else:
+                style = ALL_STYLES[rng.randrange(len(ALL_STYLES))]
+            is_main = index == 0
+            # The last section of a 3+-section engine is *rare*: it often
+            # has no instance on any sample page, making it a true hidden
+            # section that only a section family (§5.8) can extract.
+            is_rare = index == n_sections - 1 and n_sections >= 3
+            repository = Repository(
+                seed=seed * 1000 + index,
+                topic=topic,
+                domain=domain,
+                min_hits=4 if is_main else 1,
+                max_hits=9 if is_main else 6,
+                empty_rate=0.0 if is_main else (0.8 if is_rare else 0.25),
+                snippet_rate=rng.choice([0.7, 0.85, 1.0]),
+                date_rate=rng.choice([0.0, 0.5, 1.0]),
+                price_rate=0.8 if topic == "Products" else 0.0,
+                source_rate=0.4 if topic in ("News", "Press Releases") else 0.0,
+            )
+            # 96.9% of sections carry explicit boundary markers (§2);
+            # model the exceptions.
+            has_header = rng.random() > 0.031
+            sections.append(
+                SectionSchemaSpec(
+                    sid=f"s{index}",
+                    topic=topic,
+                    repository=repository,
+                    style=style,
+                    has_header=has_header,
+                )
+            )
+
+        return cls(
+            engine_id=engine_id,
+            seed=seed,
+            name=name,
+            template=template,
+            sections=sections,
+            options=options,
+            dynamic_junk=rng.random() < 0.12,
+            shared_table=shared_table,
+        )
+
+    @property
+    def is_multi_section(self) -> bool:
+        return len(self.sections) > 1
+
+    # -- workload -----------------------------------------------------------
+    def queries(self, count: int = 10) -> List[str]:
+        """``count`` distinct queries for this engine."""
+        rng = random.Random(self.seed ^ 0x5EED)
+        out: List[str] = []
+        seen = set()
+        while len(out) < count:
+            query = vocab.make_query(rng, rng.randint(1, 2))
+            if query not in seen:
+                seen.add(query)
+                out.append(query)
+        return out
+
+    # -- page production ----------------------------------------------------
+    def result_page(self, query: str) -> str:
+        """The HTML result page for ``query`` (ground truth embedded)."""
+        page_rng = random.Random(zlib.crc32(f"{self.seed}|page|{query}".encode()))
+
+        retrieved: List[Tuple[SectionSchemaSpec, list]] = []
+        for spec in self.sections:
+            records = spec.repository.retrieve(query)
+            if records:
+                retrieved.append((spec, records))
+
+        total = sum(len(records) for _, records in retrieved)
+        document, content = self.template.build(self.name, query, total, page_rng)
+
+        if self.dynamic_junk:
+            junk = Element("p", {"class": "debug"})
+            token = "".join(
+                page_rng.choice(string.ascii_lowercase) for _ in range(10)
+            )
+            junk.append_text(f"served by node {token}")
+            content.append(junk)
+
+        if self.shared_table:
+            self._render_shared_table(content, retrieved, page_rng)
+        else:
+            for spec, records in retrieved:
+                spec.style.render(
+                    content,
+                    spec.sid,
+                    spec.header_text(),
+                    records,
+                    page_rng,
+                    self.options,
+                )
+        return serialize(document)
+
+    def _render_shared_table(
+        self,
+        content: Element,
+        retrieved: Sequence[Tuple[SectionSchemaSpec, list]],
+        rng: random.Random,
+    ) -> None:
+        """All sections as row ranges of one tbody (Figure 10 structure)."""
+        table = Element("table", {"width": "95%"})
+        body = Element("tbody", {"data-gt-shared": "1"})
+        table.append(body)
+        for spec, records in retrieved:
+            header_row = Element("tr", {"data-gt-header": spec.sid})
+            header_cell = Element("td", {"colspan": "2", "bgcolor": "#ccccee"})
+            bold = Element("b")
+            bold.append_text(spec.topic)
+            header_cell.append(bold)
+            header_row.append(header_cell)
+            body.append(header_row)
+            for i, record in enumerate(records):
+                row = Element("tr", {"data-gt-rec": f"{spec.sid}:{i}"})
+                cell_title = Element("td", {"width": "50%"})
+                anchor = Element("a", {"href": record.url})
+                anchor.append_text(record.title)
+                cell_title.append(anchor)
+                row.append(cell_title)
+                cell_snip = Element("td")
+                if record.snippet:
+                    cell_snip.append_text(record.snippet)
+                elif record.date:
+                    cell_snip.append_text(record.date)
+                row.append(cell_snip)
+                body.append(row)
+        content.append(table)

@@ -1,0 +1,150 @@
+"""Ground truth recovery from marked pages.
+
+The corpus embeds ``data-gt-*`` markers (see :mod:`repro.testbed.sections`)
+in the pages it emits.  This module re-derives the ground truth in terms
+of *content line spans* from a page that went through the same
+parse-and-render path the extractor uses, so truth and extraction are
+compared in the same coordinate system.
+
+Span rules:
+
+- container sections (``data-gt-sec``): the section span is the
+  container's line range; record *i* runs from its marker's first line to
+  the line before record *i+1* (the last record ends at the container);
+- shared-table sections (``data-gt-shared`` on the common tbody): records
+  run to the next *stopper* — any header / bound / record marker line or
+  the shared container's end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.htmlmod.dom import Element
+from repro.htmlmod.parser import parse_html
+from repro.render.layout import render_page
+from repro.render.lines import RenderedPage
+
+
+@dataclass(frozen=True)
+class TruthSection:
+    """Ground truth for one section instance on one page."""
+
+    sid: str
+    span: Tuple[int, int]
+    record_spans: Tuple[Tuple[int, int], ...]
+    header_line: Optional[int] = None
+
+    @property
+    def record_count(self) -> int:
+        return len(self.record_spans)
+
+
+@dataclass
+class PageTruth:
+    """Ground truth for one rendered result page."""
+
+    page: RenderedPage
+    sections: List[TruthSection]
+
+    @property
+    def record_count(self) -> int:
+        return sum(s.record_count for s in self.sections)
+
+
+def compute_truth(markup: str) -> PageTruth:
+    """Parse, render, and read the embedded ground truth of a page."""
+    page = render_page(parse_html(markup))
+    return truth_of_rendered(page)
+
+
+def truth_of_rendered(page: RenderedPage) -> PageTruth:
+    """Ground truth of an already-rendered marked page."""
+    containers: Dict[str, Tuple[int, int]] = {}
+    headers: Dict[str, int] = {}
+    record_marks: Dict[str, List[Tuple[int, int]]] = {}  # sid -> [(idx, line)]
+    bound_lines: List[int] = []
+    shared_span: Optional[Tuple[int, int]] = None
+
+    for element in page.document.root.iter_elements():
+        attrs = element.attrs
+        if "data-gt-sec" in attrs:
+            found = page.line_range_of_element(element)
+            if found:
+                containers[attrs["data-gt-sec"]] = found
+        if "data-gt-header" in attrs:
+            found = page.line_range_of_element(element)
+            if found:
+                headers[attrs["data-gt-header"]] = found[0]
+                bound_lines.append(found[0])
+        if "data-gt-bound" in attrs:
+            found = page.line_range_of_element(element)
+            if found:
+                bound_lines.append(found[0])
+        if "data-gt-shared" in attrs:
+            found = page.line_range_of_element(element)
+            if found:
+                shared_span = found
+        if "data-gt-rec" in attrs:
+            sid, _, index = attrs["data-gt-rec"].partition(":")
+            found = page.line_range_of_element(element)
+            if found:
+                record_marks.setdefault(sid, []).append((int(index), found[0]))
+
+    sections: List[TruthSection] = []
+    all_record_lines = sorted(
+        line for marks in record_marks.values() for _, line in marks
+    )
+
+    for sid, marks in record_marks.items():
+        marks.sort()
+        starts = [line for _, line in marks]
+        container = containers.get(sid)
+        if container is not None:
+            spans = _container_record_spans(starts, container)
+            section_span = (spans[0][0], spans[-1][1])
+        elif shared_span is not None:
+            spans = _stopper_record_spans(
+                starts, shared_span, bound_lines, all_record_lines
+            )
+            section_span = (spans[0][0], spans[-1][1])
+        else:
+            continue  # malformed marking; skip defensively
+        sections.append(
+            TruthSection(
+                sid=sid,
+                span=section_span,
+                record_spans=tuple(spans),
+                header_line=headers.get(sid),
+            )
+        )
+
+    sections.sort(key=lambda s: s.span[0])
+    return PageTruth(page=page, sections=sections)
+
+
+def _container_record_spans(
+    starts: List[int], container: Tuple[int, int]
+) -> List[Tuple[int, int]]:
+    spans: List[Tuple[int, int]] = []
+    for i, begin in enumerate(starts):
+        end = starts[i + 1] - 1 if i + 1 < len(starts) else container[1]
+        spans.append((begin, end))
+    return spans
+
+
+def _stopper_record_spans(
+    starts: List[int],
+    shared: Tuple[int, int],
+    bound_lines: List[int],
+    all_record_lines: List[int],
+) -> List[Tuple[int, int]]:
+    stoppers = sorted(
+        set(bound_lines) | set(all_record_lines) | {shared[1] + 1}
+    )
+    spans: List[Tuple[int, int]] = []
+    for begin in starts:
+        nxt = next(s for s in stoppers if s > begin)
+        spans.append((begin, nxt - 1))
+    return spans

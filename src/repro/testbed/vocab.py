@@ -1,0 +1,108 @@
+"""Vocabulary for the synthetic search-engine corpus.
+
+Deterministic word pools used to generate engine names, section topics,
+queries, document titles and snippets.  Everything downstream draws from
+``random.Random`` instances seeded per engine, so the whole corpus is
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+NOUNS = [
+    "injury", "therapy", "vaccine", "allergy", "nutrition", "fitness",
+    "camera", "laptop", "monitor", "printer", "keyboard", "router",
+    "novel", "biography", "anthology", "journal", "thesis", "manual",
+    "market", "economy", "startup", "merger", "auction", "contract",
+    "galaxy", "comet", "asteroid", "orbit", "telescope", "satellite",
+    "recipe", "cuisine", "dessert", "spice", "harvest", "vineyard",
+    "stadium", "tournament", "league", "transfer", "playoff", "record",
+    "senate", "ballot", "treaty", "summit", "reform", "policy",
+]
+
+ADJECTIVES = [
+    "chronic", "digital", "portable", "annual", "global", "rapid",
+    "wireless", "organic", "modern", "classic", "advanced", "compact",
+    "premium", "essential", "hidden", "ultimate", "practical", "official",
+    "regional", "federal", "historic", "emerging", "durable", "efficient",
+]
+
+VERBS = [
+    "improves", "reduces", "explains", "compares", "reveals", "tracks",
+    "predicts", "measures", "combines", "extends", "restores", "protects",
+]
+
+TOPICS = [
+    "Web", "News", "Encyclopedia", "Images", "Products", "Reviews",
+    "Forums", "Articles", "Books", "Papers", "Videos", "Downloads",
+    "Sponsored Links", "Directory", "Blogs", "Questions", "Guides",
+    "Local Results", "Press Releases", "Archives",
+]
+
+DOMAINS = [
+    "medsearch", "shopfinder", "newsdigest", "paperhunt", "techindex",
+    "cookbase", "sportwire", "civicscan", "stargazer", "bookmine",
+]
+
+QUERY_TERMS = [
+    "knee", "ultrasound", "lupus", "colic", "lymphoma", "asthma",
+    "battery", "firmware", "tripod", "zoom", "bandwidth", "pixel",
+    "poetry", "memoir", "folklore", "satire", "drama", "sonnet",
+    "dividend", "futures", "equity", "audit", "tariff", "subsidy",
+    "nebula", "quasar", "eclipse", "aurora", "meteor", "lunar",
+    "saffron", "risotto", "ganache", "brisket", "sourdough", "umami",
+]
+
+
+def pick(rng: random.Random, pool: Sequence[str]) -> str:
+    """One uniformly random item from a pool."""
+    return pool[rng.randrange(len(pool))]
+
+
+def make_query(rng: random.Random, terms: int = 2) -> str:
+    """A query of 1-3 distinct terms."""
+    count = max(1, min(terms, 3))
+    return " ".join(rng.sample(QUERY_TERMS, count))
+
+
+def make_title(rng: random.Random, query: str) -> str:
+    """A document title echoing the query (as real result titles do)."""
+    q_terms = query.split()
+    shown = pick(rng, q_terms) if q_terms else pick(rng, NOUNS)
+    return (
+        f"{pick(rng, ADJECTIVES).capitalize()} {pick(rng, NOUNS)} "
+        f"{shown} {pick(rng, NOUNS)}"
+    )
+
+
+def make_snippet(rng: random.Random, query: str, sentences: int = 1) -> str:
+    """A snippet of 1-2 short sentences echoing the query."""
+    q_terms = query.split()
+    parts: List[str] = []
+    for _ in range(max(1, sentences)):
+        shown = pick(rng, q_terms) if q_terms else pick(rng, NOUNS)
+        parts.append(
+            f"The {pick(rng, ADJECTIVES)} {pick(rng, NOUNS)} {pick(rng, VERBS)} "
+            f"{shown} {pick(rng, ADJECTIVES)} {pick(rng, NOUNS)}."
+        )
+    return " ".join(parts)
+
+
+def make_url(rng: random.Random, domain: str) -> str:
+    """A plausible result URL."""
+    return (
+        f"http://www.{domain}.com/{pick(rng, NOUNS)}/"
+        f"{pick(rng, ADJECTIVES)}-{rng.randrange(10, 9999)}.html"
+    )
+
+
+def make_date(rng: random.Random) -> str:
+    """A date string in the m/d/yyyy form common on 2006 result pages."""
+    return f"{rng.randrange(1, 13)}/{rng.randrange(1, 29)}/{rng.randrange(1999, 2007)}"
+
+
+def make_price(rng: random.Random) -> str:
+    """A price string."""
+    return f"${rng.randrange(5, 900)}.{rng.randrange(0, 100):02d}"

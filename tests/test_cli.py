@@ -1,0 +1,125 @@
+"""CLI tests (python -m repro ...)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.testbed import load_engine_pages
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    engine_pages = load_engine_pages(85)
+    sample_args = []
+    for i, (markup, query) in enumerate(engine_pages.sample_set):
+        path = root / f"sample{i}.html"
+        path.write_text(markup, encoding="utf-8")
+        sample_args.append(f"{path}:{query}")
+    new_markup, new_query = engine_pages.test_set[0]
+    new_page = root / "new.html"
+    new_page.write_text(new_markup, encoding="utf-8")
+    wrapper_path = root / "wrapper.json"
+    return {
+        "samples": sample_args,
+        "new_page": str(new_page),
+        "new_query": new_query,
+        "wrapper": str(wrapper_path),
+    }
+
+
+class TestInduce:
+    def test_induce_writes_wrapper(self, workspace, capsys):
+        code = main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "section schema" in out
+        assert json.loads(open(workspace["wrapper"]).read())["format"] == (
+            "repro-mse-wrapper"
+        )
+
+    def test_induce_needs_two_pages(self, workspace, tmp_path):
+        out = tmp_path / "w.json"
+        code = main(["induce", "-o", str(out), workspace["samples"][0]])
+        assert code == 2
+
+
+class TestExtract:
+    def test_extract_text_output(self, workspace, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        code = main(
+            [
+                "extract",
+                "-w",
+                workspace["wrapper"],
+                workspace["new_page"],
+                "--query",
+                workspace["new_query"],
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "record(s)" in out
+
+    def test_extract_json_output(self, workspace, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        code = main(
+            [
+                "extract",
+                "--json",
+                "-w",
+                workspace["wrapper"],
+                workspace["new_page"],
+                "--query",
+                workspace["new_query"],
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list)
+        assert payload and payload[0]["records"]
+        assert "fields" in payload[0]["records"][0]
+
+
+class TestCheck:
+    def test_check_ok(self, workspace, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        code = main(
+            [
+                "check",
+                "-w",
+                workspace["wrapper"],
+                workspace["new_page"],
+                "--query",
+                workspace["new_query"],
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "health score" in out
+        assert code in (0, 1)
+
+    def test_check_drifted(self, workspace, tmp_path, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        weird = tmp_path / "weird.html"
+        weird.write_text("<html><body><p>redesign</p></body></html>")
+        capsys.readouterr()
+        code = main(["check", "-w", workspace["wrapper"], str(weird)])
+        assert code == 1
+        assert "DRIFTED" in capsys.readouterr().out
+
+
+class TestDemoAndEval:
+    def test_demo(self, capsys):
+        code = main(["demo", "--engine-id", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "induced" in out and "extraction" in out
+
+    def test_eval_limited(self, capsys):
+        code = main(["eval", "--table", "1", "--limit", "2"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out

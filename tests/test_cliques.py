@@ -1,0 +1,97 @@
+"""Bron-Kerbosch tests, cross-checked against networkx."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.cliques import maximal_cliques, section_instance_groups
+
+
+class TestKnownGraphs:
+    def test_triangle(self):
+        cliques = maximal_cliques([1, 2, 3], [(1, 2), (2, 3), (1, 3)])
+        assert cliques == [frozenset({1, 2, 3})]
+
+    def test_path_graph(self):
+        cliques = set(maximal_cliques([1, 2, 3], [(1, 2), (2, 3)]))
+        assert cliques == {frozenset({1, 2}), frozenset({2, 3})}
+
+    def test_isolated_vertices_are_singletons(self):
+        cliques = set(maximal_cliques([1, 2], []))
+        assert cliques == {frozenset({1}), frozenset({2})}
+
+    def test_two_triangles_sharing_a_vertex(self):
+        edges = [(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (3, 5)]
+        cliques = set(maximal_cliques(range(1, 6), edges))
+        assert frozenset({1, 2, 3}) in cliques
+        assert frozenset({3, 4, 5}) in cliques
+
+    def test_self_loops_ignored(self):
+        cliques = set(maximal_cliques([1, 2], [(1, 1), (1, 2)]))
+        assert cliques == {frozenset({1, 2})}
+
+    def test_complete_graph(self):
+        vertices = list(range(5))
+        edges = [(i, j) for i in vertices for j in vertices if i < j]
+        assert maximal_cliques(vertices, edges) == [frozenset(vertices)]
+
+    def test_empty_graph(self):
+        assert maximal_cliques([], []) == []
+
+    def test_edge_endpoint_not_in_vertices_added(self):
+        cliques = set(maximal_cliques([1], [(1, 2)]))
+        assert frozenset({1, 2}) in cliques
+
+
+class TestSectionInstanceGroups:
+    def test_min_size_filters_singletons(self):
+        groups = section_instance_groups([1, 2, 3], [(1, 2)])
+        assert groups == [frozenset({1, 2})]
+
+    def test_sorted_largest_first(self):
+        edges = [(1, 2), (2, 3), (1, 3), (4, 5)]
+        groups = section_instance_groups([1, 2, 3, 4, 5], edges)
+        assert len(groups[0]) == 3
+        assert len(groups[1]) == 2
+
+    def test_min_size_three(self):
+        edges = [(1, 2), (2, 3), (1, 3), (4, 5)]
+        groups = section_instance_groups([1, 2, 3, 4, 5], edges, min_size=3)
+        assert groups == [frozenset({1, 2, 3})]
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=9),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.randoms(use_true_random=False),
+    )
+    def test_matches_networkx_find_cliques(self, n, density, rng):
+        vertices = list(range(n))
+        edges = [
+            (i, j)
+            for i in vertices
+            for j in vertices
+            if i < j and rng.random() < density
+        ]
+        ours = set(maximal_cliques(vertices, edges))
+
+        graph = nx.Graph()
+        graph.add_nodes_from(vertices)
+        graph.add_edges_from(edges)
+        theirs = {frozenset(c) for c in nx.find_cliques(graph)}
+        assert ours == theirs
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=8), st.randoms(use_true_random=False))
+    def test_every_reported_set_is_a_clique(self, n, rng):
+        vertices = list(range(n))
+        edges = [
+            (i, j) for i in vertices for j in vertices if i < j and rng.random() < 0.5
+        ]
+        edge_set = {frozenset(e) for e in edges}
+        for clique in maximal_cliques(vertices, edges):
+            members = sorted(clique)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    assert frozenset({u, v}) in edge_set

@@ -1,0 +1,167 @@
+"""DSE tests: cleaning, CSBM marking, filtering, DS identification."""
+
+from repro.core.dse import (
+    DynamicSection,
+    clean_line_text,
+    clean_page_lines,
+    filter_csbms,
+    identify_dss,
+    mark_csbms_multi,
+    mark_csbms_pair,
+    run_dse,
+)
+from repro.core.mre import extract_mrs
+from tests.helpers import make_records, render, simple_result_page
+
+
+def rendered_pair(query1="apple", query2="banana", n1=4, n2=5):
+    pages = []
+    for query, n in ((query1, n1), (query2, n2)):
+        html = simple_result_page(query, [("Web", make_records("Web", n, query))])
+        page = render(html)
+        clean_page_lines(page, query.split())
+        pages.append(page)
+    return pages
+
+
+class TestCleaning:
+    def test_numbers_removed(self):
+        assert clean_line_text("Your search returned 578 matches", []) == (
+            "your search returned matches"
+        )
+
+    def test_query_terms_removed_case_insensitive(self):
+        out = clean_line_text("Results for Apple pie", ["apple"])
+        assert "apple" not in out
+        assert "results for pie" == out
+
+    def test_dates_removed(self):
+        out = clean_line_text("News story (4/10/2002 1:07:00 PM)", [])
+        assert "2002" not in out and "07" not in out
+
+    def test_lowercased_and_collapsed(self):
+        assert clean_line_text("  A   B  ", []) == "a b"
+
+    def test_empty_query_terms(self):
+        assert clean_line_text("hello", [""]) == "hello"
+
+    def test_clean_page_lines_fills_cleaned(self):
+        page = render("<html><body><p>Result 5 for apple</p></body></html>")
+        clean_page_lines(page, ["apple"])
+        assert page.lines[0].cleaned == "result for"
+
+
+class TestCsbmMarking:
+    def test_static_chrome_marked(self):
+        p1, p2 = rendered_pair()
+        csbms1, csbms2 = mark_csbms_pair(p1, p2)
+        nav_line = next(l for l in p1.lines if "Home" in l.text)
+        assert nav_line.number in csbms1
+
+    def test_semi_dynamic_count_line_marked(self):
+        p1, p2 = rendered_pair()
+        csbms1, _ = mark_csbms_pair(p1, p2)
+        count_line = next(l for l in p1.lines if "matches" in l.text)
+        assert count_line.number in csbms1
+
+    def test_section_header_marked(self):
+        p1, p2 = rendered_pair()
+        csbms1, _ = mark_csbms_pair(p1, p2)
+        header = next(l for l in p1.lines if l.text == "Web")
+        assert header.number in csbms1
+
+    def test_record_titles_not_marked(self):
+        p1, p2 = rendered_pair()
+        csbms1, _ = mark_csbms_pair(p1, p2)
+        for line in p1.lines:
+            if "result" in line.text and "about" in line.text:
+                assert line.number not in csbms1
+
+    def test_marking_is_mutual(self):
+        p1, p2 = rendered_pair()
+        csbms1, csbms2 = mark_csbms_pair(p1, p2)
+        assert len(csbms1) == len(csbms2)
+
+    def test_multi_page_union(self):
+        pages = rendered_pair() + rendered_pair("cherry", "durian")
+        marks = mark_csbms_multi(pages)
+        assert len(marks) == 4
+        assert all(marks)
+
+    def test_structural_hr_line_marked(self):
+        p1 = render("<html><body><p>unique apple text</p><hr><p>tail</p></body></html>")
+        p2 = render("<html><body><p>unique banana text</p><hr><p>tail</p></body></html>")
+        clean_page_lines(p1, ["apple"])
+        clean_page_lines(p2, ["banana"])
+        csbms1, _ = mark_csbms_pair(p1, p2)
+        hr_line = next(l for l in p1.lines if l.text == "")
+        assert hr_line.number in csbms1
+
+
+class TestFilterCsbms:
+    def test_per_record_pattern_dropped(self):
+        # A string appearing in every record of an MR is not a boundary.
+        items = "".join(
+            f'<li><a href="/{i}">Item {i}</a><br>Buy new: $19.99</li>'
+            for i in range(4)
+        )
+        page = render(f"<html><body><ul>{items}</ul></body></html>")
+        clean_page_lines(page, [])
+        mrs = extract_mrs(page)
+        assert mrs
+        price_lines = {l.number for l in page.lines if "Buy new" in l.text}
+        kept = filter_csbms(page, set(price_lines), mrs)
+        assert not kept & price_lines
+
+    def test_marker_outside_mr_kept(self):
+        page = render("<html><body><p>keep me</p></body></html>")
+        clean_page_lines(page, [])
+        assert filter_csbms(page, {0}, []) == {0}
+
+
+class TestIdentifyDss:
+    def test_non_csbm_runs_become_dss(self):
+        page = render(
+            "<html><body><p>a</p><p>b</p><p>c</p><p>d</p></body></html>"
+        )
+        dss = identify_dss(page, {0, 2})
+        assert [(d.start, d.end) for d in dss] == [(1, 1), (3, 3)]
+
+    def test_boundary_markers_attached(self):
+        page = render("<html><body><p>a</p><p>b</p><p>c</p></body></html>")
+        (ds,) = identify_dss(page, {0, 2})
+        assert ds.lbm == 0 and ds.rbm == 2
+
+    def test_ds_at_page_edges_has_no_marker(self):
+        page = render("<html><body><p>a</p><p>b</p></body></html>")
+        (ds,) = identify_dss(page, set())
+        assert ds.lbm is None and ds.rbm is None
+        assert (ds.start, ds.end) == (0, 1)
+
+    def test_all_csbms_no_ds(self):
+        page = render("<html><body><p>a</p><p>b</p></body></html>")
+        assert identify_dss(page, {0, 1}) == []
+
+
+class TestRunDse:
+    def test_end_to_end(self):
+        pages = []
+        queries = ["apple", "banana", "cherry"]
+        for q in queries:
+            html = simple_result_page(q, [("Web", make_records("Web", 4, q))])
+            pages.append(render(html))
+        mrs = [extract_mrs(p) for p in pages]
+        csbms, dss = run_dse(pages, queries, mrs)
+        assert len(csbms) == 3 and len(dss) == 3
+        # the record region must be (inside) a DS on each page
+        for page, page_dss in zip(pages, dss):
+            record_line = next(
+                l.number for l in page.lines if "result 0" in l.text
+            )
+            assert any(d.start <= record_line <= d.end for d in page_dss)
+
+    def test_mismatched_inputs_raise(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_dse([], ["q"], [])

@@ -1,0 +1,85 @@
+"""DSE multi-page voting tests, including the marker-text inheritance rule."""
+
+from repro.core.dse import clean_page_lines, mark_csbms_multi, match_key
+from repro.render.linetypes import LineType
+from tests.helpers import render
+
+
+def engine_page(query, records_a, more_b=False):
+    """Two sections; section B's 'more' footer appears only sometimes."""
+    parts = ["<html><body><h2>Alpha</h2><ul>"]
+    salt = sum(ord(c) for c in query)
+    words = ["red", "blue", "green", "gold", "gray", "teal"]
+    for i in range(records_a):
+        w = words[(salt + i) % 6]
+        parts.append(f'<li><a href="/{i}">{w} {query} item</a><br>body {w} text</li>')
+    parts.append('</ul><a href="/moreA">Click for more</a>')
+    parts.append("<h2>Beta</h2><ul>")
+    for i in range(2):
+        w = words[(salt + 2 * i + 1) % 6]
+        parts.append(f'<li><a href="/b{i}">{w} beta {query}</a><br>beta {w} body</li>')
+    parts.append("</ul>")
+    if more_b:
+        parts.append('<a href="/moreB">Click for more</a>')
+    parts.append("<p>Copyright Demo</p></body></html>")
+    return "".join(parts)
+
+
+def rendered(pages_spec):
+    pages = []
+    for query, n, more_b in pages_spec:
+        page = render(engine_page(query, n, more_b))
+        clean_page_lines(page, query.split())
+        pages.append(page)
+    return pages
+
+
+class TestVoting:
+    def test_static_lines_marked_everywhere(self):
+        pages = rendered([("apple", 3, True), ("banana", 4, True), ("cherry", 3, True)])
+        marks = mark_csbms_multi(pages)
+        for page, csbms in zip(pages, marks):
+            copyright_line = next(l for l in page.lines if "Copyright" in l.text)
+            assert copyright_line.number in csbms
+
+    def test_single_pairing_match_not_enough(self):
+        # Identical record appearing on exactly two pages must not become
+        # a marker: one pairing = one vote < 2.
+        pages = rendered([("apple", 3, False), ("banana", 4, False), ("cherry", 3, False)])
+        # inject the same cleaned text into a record line of pages 0 and 1
+        pages[0].lines[3].cleaned = "coincidental overlap record"
+        pages[1].lines[3].cleaned = "coincidental overlap record"
+        marks = mark_csbms_multi(pages)
+        assert 3 not in marks[0] or pages[0].lines[3].cleaned != "coincidental overlap record"
+
+    def test_rare_footer_inherits_marker_status(self):
+        # Section B's footer exists on only one other page (one vote), but
+        # section A's identical footer text is fully certified -> the rare
+        # footer inherits CSBM status.
+        pages = rendered(
+            [("apple", 3, True), ("banana", 4, False), ("cherry", 3, False)]
+        )
+        marks = mark_csbms_multi(pages)
+        page0 = pages[0]
+        footers = [l.number for l in page0.lines if "Click for more" in l.text]
+        assert len(footers) == 2
+        assert all(n in marks[0] for n in footers)
+
+
+class TestMatchKey:
+    def test_text_key_for_text_lines(self):
+        page = render("<html><body><p>Hello World</p></body></html>")
+        clean_page_lines(page, [])
+        assert match_key(page.lines[0]) == "hello world"
+
+    def test_structural_key_for_hr(self):
+        page = render("<html><body><hr></body></html>")
+        clean_page_lines(page, [])
+        key = match_key(page.lines[0])
+        assert key.startswith("\x00")
+        assert str(LineType.HR.value) in key
+
+    def test_no_key_for_cleaned_away_text(self):
+        page = render("<html><body><p>12345</p></body></html>")
+        clean_page_lines(page, [])
+        assert match_key(page.lines[0]) == ""

@@ -1,0 +1,40 @@
+"""Smoke tests: the example scripts must run and produce their key output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "induced" in out
+        assert "extracted 2 sections" in out
+
+    def test_hidden_sections(self):
+        out = run_example("hidden_sections.py")
+        assert "HIDDEN SECTION" in out
+
+    def test_metasearch(self):
+        out = run_example("metasearch.py")
+        assert "metasearch results" in out
+
+    def test_paper_walkthrough(self):
+        out = run_example("paper_walkthrough.py")
+        assert "Figure 9" in out
+        assert "Extraction from an unseen page" in out

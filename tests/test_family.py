@@ -1,0 +1,150 @@
+"""Section family tests (§5.8): construction rules and hidden sections."""
+
+from repro.core.family import Type1Family, Type2Family, build_families
+from repro.core.mse import MSE, MSEConfig
+from repro.core.wrapper import SectionWrapper, SeparatorRule
+from repro.render.styles import TextAttr
+from repro.tagpath.paths import MergedTagPath
+from tests.helpers import make_records, sample_pages, simple_result_page
+
+HEADER_ATTRS = frozenset({TextAttr(size=20, style="bold")})
+RECORD_ATTRS = frozenset({TextAttr(), TextAttr(color="blue", underline=True)})
+
+
+def wrapper(schema_id, s_count, lbm_attrs=HEADER_ATTRS, markers_inside=False,
+            sep=SeparatorRule("child-start", "li"), tags=("html", "body", "ul")):
+    counts = [0] * len(tags)
+    counts[-1] = s_count
+    pref = MergedTagPath(tags, counts, [{c} for c in counts])
+    return SectionWrapper(
+        schema_id=schema_id,
+        pref=pref,
+        separator=sep,
+        lbm_texts={schema_id.lower()},
+        lbm_attrs=lbm_attrs,
+        rbm_attrs=frozenset(),
+        record_attrs=RECORD_ATTRS,
+        markers_inside=markers_inside,
+    )
+
+
+class TestType2Construction:
+    def test_same_shape_wrappers_fold(self):
+        families, leftover = build_families([wrapper("A", 1), wrapper("B", 3)])
+        assert len(families) == 1
+        assert isinstance(families[0], Type2Family)
+        assert set(families[0].member_ids) == {"A", "B"}
+
+    def test_flexible_level_in_family_pref(self):
+        families, _ = build_families([wrapper("A", 1), wrapper("B", 3)])
+        assert families[0].pref.fixed_counts[-1] is None
+
+    def test_single_wrapper_no_family(self):
+        families, leftover = build_families([wrapper("A", 1)])
+        assert families == []
+        assert len(leftover) == 1
+
+    def test_marker_attrs_colliding_with_records_rejected(self):
+        colliding = frozenset({TextAttr()})  # same as a record attr
+        ws = [
+            wrapper("A", 1, lbm_attrs=colliding),
+            wrapper("B", 3, lbm_attrs=colliding),
+        ]
+        families, leftover = build_families(ws)
+        assert families == []
+        assert len(leftover) == 2
+
+    def test_different_separators_not_folded(self):
+        ws = [
+            wrapper("A", 1),
+            wrapper("B", 3, sep=SeparatorRule("child-start", "tr")),
+        ]
+        families, _ = build_families(ws)
+        assert families == []
+
+    def test_member_positions_map_known_schemas(self):
+        families, _ = build_families([wrapper("A", 1), wrapper("B", 3)])
+        positions = families[0].member_positions
+        assert positions.get((1,)) == "A"
+        assert positions.get((3,)) == "B"
+
+
+class TestType1Construction:
+    def test_identical_pref_with_inside_markers_folds(self):
+        ws = [
+            wrapper("A", 0, markers_inside=True, sep=SeparatorRule("child-start", "tr"),
+                    tags=("html", "body", "table", "tbody")),
+            wrapper("B", 0, markers_inside=True, sep=SeparatorRule("child-start", "tr"),
+                    tags=("html", "body", "table", "tbody")),
+        ]
+        families, _ = build_families(ws)
+        assert len(families) == 1
+        assert isinstance(families[0], Type1Family)
+
+    def test_outside_markers_do_not_fold_to_type1(self):
+        ws = [wrapper("A", 0), wrapper("B", 0)]
+        families, _ = build_families(ws)
+        assert not any(isinstance(f, Type1Family) for f in families)
+
+
+class TestHiddenSectionExtraction:
+    def induce(self, plans):
+        pages = []
+        for query, plan in plans:
+            sections = [(h, make_records(h, n, query)) for h, n in plan]
+            pages.append((simple_result_page(query, sections), query))
+        return MSE().build_wrapper(pages)
+
+    def test_hidden_section_found_on_new_page(self):
+        engine = self.induce(
+            [
+                ("apple", [("Web", 4), ("News", 3)]),
+                ("banana", [("Web", 5), ("News", 4)]),
+            ]
+        )
+        assert engine.families
+        html = simple_result_page(
+            "durian",
+            [
+                ("Web", make_records("Web", 3, "durian")),
+                ("News", make_records("News", 2, "durian")),
+                ("Images", make_records("Img", 4, "durian")),  # never seen
+            ],
+        )
+        extraction = engine.extract(html, "durian")
+        assert len(extraction) == 3
+        headers = [s.lbm_text for s in extraction.sections]
+        assert "Images" in headers
+        hidden = next(s for s in extraction.sections if s.lbm_text == "Images")
+        assert len(hidden) == 4
+        assert hidden.schema_id.endswith("hidden0") or "hidden" in hidden.schema_id
+
+    def test_families_disabled_config(self):
+        config = MSEConfig(use_families=False)
+        pages = []
+        for query in ("apple", "banana"):
+            sections = [
+                ("Web", make_records("Web", 4, query)),
+                ("News", make_records("News", 3, query)),
+            ]
+            pages.append((simple_result_page(query, sections), query))
+        engine = MSE(config).build_wrapper(pages)
+        assert engine.families == []
+
+    def test_section_order_preserved(self):
+        engine = self.induce(
+            [
+                ("apple", [("Web", 4), ("News", 3)]),
+                ("banana", [("Web", 5), ("News", 4)]),
+            ]
+        )
+        html = simple_result_page(
+            "durian",
+            [
+                ("Web", make_records("Web", 3, "durian")),
+                ("News", make_records("News", 4, "durian")),
+            ],
+        )
+        extraction = engine.extract(html, "durian")
+        spans = [s.line_span for s in extraction.sections]
+        assert spans == sorted(spans)

@@ -1,0 +1,137 @@
+"""Granularity resolution tests (§5.5)."""
+
+from repro.core.model import SectionInstance
+from repro.core.granularity import resolve_granularity
+from repro.features.blocks import Block
+from tests.helpers import render
+
+
+def section(page, span, record_spans, origin="test"):
+    return SectionInstance(
+        page=page,
+        block=Block(page, span[0], span[1]),
+        records=[Block(page, s, e) for s, e in record_spans],
+        origin=origin,
+    )
+
+
+LIST_PAGE = render(
+    "<html><body><ul>"
+    + "".join(
+        f"<li><a href='/{i}'>{w} title</a><br>snippet {w} text</li>"
+        for i, w in enumerate(["alpha", "bravo", "charlie", "delta"])
+    )
+    + "</ul></body></html>"
+)
+# 8 lines: records at (0,1), (2,3), (4,5), (6,7)
+TRUE_RECORDS = [(0, 1), (2, 3), (4, 5), (6, 7)]
+
+
+class TestOversizedRecords:
+    def test_merged_records_split(self):
+        # Two true records glued into one oversized "record".
+        bad = section(LIST_PAGE, (0, 7), [(0, 3), (4, 5), (6, 7)])
+        out = resolve_granularity([bad])
+        assert len(out) == 1
+        assert out[0].record_spans() == TRUE_RECORDS
+
+    def test_correct_partition_untouched(self):
+        good = section(LIST_PAGE, (0, 7), TRUE_RECORDS)
+        out = resolve_granularity([good])
+        assert out[0].record_spans() == TRUE_RECORDS
+
+    def test_sections_mistaken_as_records_split(self):
+        # Two adjacent same-format sections glued into one MR whose
+        # "records" are the sections.  §5.5: the separating structure (a
+        # divider image row) is part of the *second* big record only, so
+        # its first mined piece is special and the MR is split.
+        page = render(
+            "<html><body><div>"
+            "<p><a href='/1'>alpha title</a><br>snippet alpha body</p>"
+            "<p><a href='/2'>bravo title</a><br>snippet bravo body</p>"
+            "</div><div>"
+            "<p><img src='divider.gif'></p>"
+            "<p><a href='/3'>charlie title</a><br>snippet charlie body</p>"
+            "<p><a href='/4'>delta title</a><br>snippet delta body</p>"
+            "</div></body></html>"
+        )
+        # lines: 0-3 section one records, 4 divider, 5-8 section two records
+        glued = section(page, (0, 8), [(0, 3), (4, 8)])
+        out = resolve_granularity([glued])
+        assert len(out) == 2
+        assert out[0].start == 0 and out[1].start == 4
+
+
+class TestSplitRecords:
+    def test_uniform_start_partition_not_combined(self):
+        good = section(LIST_PAGE, (0, 7), TRUE_RECORDS)
+        out = resolve_granularity([good])
+        assert len(out[0].records) == 4
+
+    def test_title_snippet_split_recombined(self):
+        # Each record split into title-record and snippet-record: the
+        # coarser pairing has higher cohesion and wins.
+        page = render(
+            "<html><body><div>"
+            "<p><b>alpha heading text</b></p><p>plain alpha body</p>"
+            "<p><b>bravo heading text</b></p><p>plain bravo body</p>"
+            "<p><b>charlie heading text</b></p><p>plain charlie body</p>"
+            "<p><b>delta heading text</b></p><p>plain delta body</p>"
+            "</div></body></html>"
+        )
+        split = section(page, (0, 7), [(i, i) for i in range(8)])
+        out = resolve_granularity([split])
+        assert out[0].record_spans() == [(0, 1), (2, 3), (4, 5), (6, 7)]
+
+
+class TestSiblingSingletonMerge:
+    def test_adjacent_one_record_sibling_sections_merged(self):
+        page = render(
+            "<html><body><div>"
+            "<table><tr><td><a href='/1'>alpha title</a></td><td>meta a</td></tr></table>"
+            "<table><tr><td><a href='/2'>bravo title</a></td><td>meta b</td></tr></table>"
+            "<table><tr><td><a href='/3'>charlie title</a></td><td>meta c</td></tr></table>"
+            "</div></body></html>"
+        )
+        # each table renders 2 lines; three "sections" of one record each
+        parts = [
+            section(page, (0, 1), [(0, 1)]),
+            section(page, (2, 3), [(2, 3)]),
+            section(page, (4, 5), [(4, 5)]),
+        ]
+        out = resolve_granularity(parts)
+        assert len(out) == 1
+        assert out[0].record_spans() == [(0, 1), (2, 3), (4, 5)]
+        assert out[0].origin == "granularity-merged"
+
+    def test_gap_prevents_merge(self):
+        page = render(
+            "<html><body>"
+            "<table><tr><td><a href='/1'>alpha</a></td></tr></table>"
+            "<p>separator text line</p>"
+            "<table><tr><td><a href='/2'>bravo</a></td></tr></table>"
+            "</body></html>"
+        )
+        parts = [
+            section(page, (0, 0), [(0, 0)]),
+            section(page, (2, 2), [(2, 2)]),
+        ]
+        out = resolve_granularity(parts)
+        assert len(out) == 2
+
+    def test_multi_record_sections_not_merged(self):
+        a = section(LIST_PAGE, (0, 3), [(0, 1), (2, 3)])
+        b = section(LIST_PAGE, (4, 7), [(4, 5), (6, 7)])
+        out = resolve_granularity([a, b])
+        assert len(out) == 2
+
+
+class TestOrdering:
+    def test_output_sorted_by_start(self):
+        a = section(LIST_PAGE, (4, 7), [(4, 5), (6, 7)])
+        b = section(LIST_PAGE, (0, 3), [(0, 1), (2, 3)])
+        out = resolve_granularity([a, b])
+        assert [s.start for s in out] == sorted(s.start for s in out)
+
+    def test_empty_input(self):
+        assert resolve_granularity([]) == []

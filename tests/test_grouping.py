@@ -1,0 +1,110 @@
+"""Section instance grouping tests (§5.6)."""
+
+from repro.core.dse import clean_page_lines
+from repro.core.model import SectionInstance
+from repro.core.grouping import group_section_instances, match_score
+from repro.features.blocks import Block
+from tests.helpers import make_records, render, simple_result_page
+
+
+def page_instances(query, plan):
+    """Render a page and hand-build the true section instances."""
+    html = simple_result_page(query, [(h, make_records(h, n, query)) for h, n in plan])
+    page = render(html)
+    clean_page_lines(page, query.split())
+    instances = []
+    cursor = 2  # nav + count line
+    for header, n in plan:
+        header_line = cursor
+        start = cursor + 1
+        end = start + 2 * n - 1
+        records = [Block(page, s, s + 1) for s in range(start, end, 2)]
+        instances.append(
+            SectionInstance(
+                page=page,
+                block=Block(page, start, end),
+                records=records,
+                lbm=header_line,
+                rbm=end + 1,
+            )
+        )
+        cursor = end + 2  # skip the more-link
+    return instances
+
+
+class TestMatchScore:
+    def test_same_schema_across_pages_high(self):
+        (a,) = page_instances("apple", [("Web", 3)])
+        (b,) = page_instances("banana", [("Web", 4)])
+        assert match_score(a, b) > 0.8
+
+    def test_different_schema_lower(self):
+        a1, a2 = page_instances("apple", [("Web", 3), ("News", 3)])
+        b1, b2 = page_instances("banana", [("Web", 3), ("News", 3)])
+        assert match_score(a1, b1) > match_score(a1, b2)
+
+    def test_symmetric(self):
+        (a,) = page_instances("apple", [("Web", 3)])
+        (b,) = page_instances("banana", [("Web", 4)])
+        assert abs(match_score(a, b) - match_score(b, a)) < 1e-9
+
+
+class TestGrouping:
+    def test_single_schema_one_group(self):
+        pages = [
+            page_instances(q, [("Web", 3 + i)])
+            for i, q in enumerate(["apple", "banana", "cherry"])
+        ]
+        groups = group_section_instances(pages)
+        assert len(groups) == 1
+        assert len(groups[0]) == 3
+
+    def test_two_schemas_two_groups(self):
+        pages = [
+            page_instances(q, [("Web", 3), ("News", 4)])
+            for q in ["apple", "banana", "cherry"]
+        ]
+        groups = group_section_instances(pages)
+        assert len(groups) == 2
+        assert all(len(g) == 3 for g in groups)
+
+    def test_groups_ordered_by_position(self):
+        pages = [
+            page_instances(q, [("Web", 3), ("News", 4)])
+            for q in ["apple", "banana"]
+        ]
+        groups = group_section_instances(pages)
+        starts = [min(i.start for i in g.instances) for g in groups]
+        assert starts == sorted(starts)
+
+    def test_dangling_instance_dropped(self):
+        # the News section appears on only one page -> no group for it
+        pages = [
+            page_instances("apple", [("Web", 3), ("News", 4)]),
+            page_instances("banana", [("Web", 3)]),
+            page_instances("cherry", [("Web", 5)]),
+        ]
+        groups = group_section_instances(pages)
+        assert len(groups) == 1
+
+    def test_one_instance_per_page_in_group(self):
+        pages = [
+            page_instances(q, [("Web", 3), ("News", 3)])
+            for q in ["apple", "banana", "cherry"]
+        ]
+        for group in group_section_instances(pages):
+            page_ids = [id(inst.page) for inst in group.instances]
+            assert len(page_ids) == len(set(page_ids))
+
+    def test_empty_input(self):
+        assert group_section_instances([]) == []
+
+    def test_pages_without_sections(self):
+        assert group_section_instances([[], [], []]) == []
+
+    def test_threshold_blocks_weak_matches(self):
+        pages = [
+            page_instances("apple", [("Web", 3)]),
+            page_instances("banana", [("Web", 3)]),
+        ]
+        assert group_section_instances(pages, threshold=1.01) == []

@@ -1,0 +1,109 @@
+"""Integration tests: the full pipeline against corpus engines.
+
+These use a handful of fixed engines spanning the layout styles; the
+full 119-engine sweep lives in the benchmark harness.
+"""
+
+import pytest
+
+from repro.core.mse import build_wrapper
+from repro.evalkit.harness import evaluate_engine
+from repro.evalkit.matching import grade_page
+from repro.testbed import load_engine_pages, make_engine
+
+
+@pytest.fixture(scope="module")
+def engine_cache():
+    cache = {}
+
+    def load(engine_id):
+        if engine_id not in cache:
+            cache[engine_id] = load_engine_pages(engine_id)
+        return cache[engine_id]
+
+    return load
+
+
+class TestSingleSectionEngines:
+    @pytest.mark.parametrize("engine_id", [0, 1, 2, 5, 7])
+    def test_high_quality_extraction(self, engine_cache, engine_id):
+        result = evaluate_engine(engine_cache(engine_id))
+        total = result.rows.total_sections
+        assert not result.failed
+        assert total.recall_total >= 0.8, (
+            f"engine {engine_id}: recall {total.recall_total:.2f}"
+        )
+
+
+class TestMultiSectionEngines:
+    @pytest.mark.parametrize("engine_id", [81, 83, 85, 97])
+    def test_sections_separated(self, engine_cache, engine_id):
+        result = evaluate_engine(engine_cache(engine_id))
+        total = result.rows.total_sections
+        assert not result.failed
+        assert total.recall_total >= 0.7, (
+            f"engine {engine_id}: recall {total.recall_total:.2f}"
+        )
+
+    def test_section_record_relationship(self, engine_cache):
+        ep = engine_cache(85)
+        wrapper = build_wrapper(ep.sample_set)
+        extraction = wrapper.extract(ep.pages[7], ep.queries[7])
+        truth = ep.truths[7]
+        # every extracted record must lie inside its section span
+        for section in extraction.sections:
+            start, end = section.line_span
+            for record in section.records:
+                assert start <= record.line_span[0] <= record.line_span[1] <= end
+        # extracted sections must not overlap each other
+        spans = sorted(s.line_span for s in extraction.sections)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 < s2
+
+
+class TestWrapperReuse:
+    def test_wrapper_is_reusable_across_pages(self, engine_cache):
+        ep = engine_cache(2)
+        wrapper = build_wrapper(ep.sample_set)
+        counts = []
+        for markup, query in ep.test_set:
+            counts.append(wrapper.extract(markup, query).record_count)
+        assert all(c > 0 for c in counts)
+
+    def test_determinism(self, engine_cache):
+        ep = engine_cache(1)
+        w1 = build_wrapper(ep.sample_set)
+        w2 = build_wrapper(ep.sample_set)
+        e1 = w1.extract(ep.pages[6], ep.queries[6])
+        e2 = w2.extract(ep.pages[6], ep.queries[6])
+        assert [s.line_span for s in e1.sections] == [s.line_span for s in e2.sections]
+
+
+class TestHiddenSectionOnCorpus:
+    def test_family_covers_section_absent_from_samples(self):
+        # Find a multi-section engine where some section is absent from
+        # every sample page but present on a test page.
+        for engine_id in range(81, 119):
+            ep = load_engine_pages(engine_id)
+            sample_sids = set()
+            for truth in ep.truths[:5]:
+                sample_sids.update(s.sid for s in truth.sections)
+            for index in range(5, 10):
+                test_sids = {s.sid for s in ep.truths[index].sections}
+                hidden = test_sids - sample_sids
+                if not hidden:
+                    continue
+                wrapper = build_wrapper(ep.sample_set)
+                if not wrapper.families:
+                    continue
+                grade = grade_page(
+                    wrapper.extract(ep.pages[index], ep.queries[index]),
+                    ep.truths[index],
+                )
+                missed_sids = {t.sid for t in grade.missed_truth}
+                if hidden - missed_sids:
+                    return  # at least one truly hidden section was extracted
+        pytest.fail(
+            "no hidden section extracted anywhere in the corpus — the "
+            "rare-section mechanism or section families regressed"
+        )

@@ -1,0 +1,89 @@
+"""LCS and prefix/suffix utility tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.algorithms.lcs import (
+    common_prefix,
+    common_suffix,
+    lcs_length,
+    longest_common_subsequence,
+)
+
+short = st.text(alphabet="abc", max_size=10)
+
+
+class TestLCS:
+    def test_classic(self):
+        assert longest_common_subsequence("ABCBDAB", "BDCABA") == list("BCBA")
+
+    def test_identical(self):
+        assert longest_common_subsequence("abc", "abc") == list("abc")
+
+    def test_disjoint(self):
+        assert longest_common_subsequence("abc", "xyz") == []
+
+    def test_empty(self):
+        assert longest_common_subsequence("", "abc") == []
+
+    def test_works_on_tuples(self):
+        assert longest_common_subsequence((1, 2, 3), (2, 3, 4)) == [2, 3]
+
+    @given(short, short)
+    def test_length_agrees_with_sequence(self, a, b):
+        assert len(longest_common_subsequence(a, b)) == lcs_length(a, b)
+
+    @given(short, short)
+    def test_result_is_subsequence_of_both(self, a, b):
+        sub = longest_common_subsequence(a, b)
+        assert _is_subsequence(sub, a)
+        assert _is_subsequence(sub, b)
+
+    @given(short)
+    def test_self_lcs_is_self(self, a):
+        assert longest_common_subsequence(a, a) == list(a)
+
+    @given(short, short)
+    def test_length_symmetry(self, a, b):
+        assert lcs_length(a, b) == lcs_length(b, a)
+
+    @given(short, short)
+    def test_length_bounds(self, a, b):
+        assert 0 <= lcs_length(a, b) <= min(len(a), len(b))
+
+
+class TestPrefixSuffix:
+    def test_common_prefix(self):
+        assert common_prefix(["abcd", "abxy", "abz"]) == ["a", "b"]
+
+    def test_common_suffix(self):
+        assert common_suffix(["xyzcd", "abcd", "cd"]) == ["c", "d"]
+
+    def test_no_common_prefix(self):
+        assert common_prefix(["abc", "xbc"]) == []
+
+    def test_single_sequence(self):
+        assert common_prefix(["abc"]) == list("abc")
+
+    def test_empty_input(self):
+        assert common_prefix([]) == []
+        assert common_suffix([]) == []
+
+    def test_prefix_with_empty_member(self):
+        assert common_prefix(["abc", ""]) == []
+
+    @given(st.lists(short, min_size=1, max_size=5))
+    def test_prefix_is_prefix_of_all(self, seqs):
+        prefix = common_prefix(seqs)
+        for seq in seqs:
+            assert list(seq[: len(prefix)]) == prefix
+
+    @given(st.lists(short, min_size=1, max_size=5))
+    def test_suffix_is_suffix_of_all(self, seqs):
+        suffix = common_suffix(seqs)
+        for seq in seqs:
+            assert list(seq[len(seq) - len(suffix) :]) == suffix
+
+
+def _is_subsequence(sub, seq):
+    it = iter(seq)
+    return all(any(x == y for y in it) for x in sub)

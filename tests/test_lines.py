@@ -1,0 +1,76 @@
+"""RenderedPage DOM-mapping tests: span forests and subtrees."""
+
+from repro.render.lines import deepest_common_ancestor
+from tests.helpers import render
+
+PAGE = render(
+    "<html><body>"
+    "<h2>Header</h2>"
+    "<ul><li><a href='/1'>one</a><br>snip one</li>"
+    "<li><a href='/2'>two</a><br>snip two</li></ul>"
+    "<p>footer</p>"
+    "</body></html>"
+)
+# lines: 0 Header, 1 one, 2 snip one, 3 two, 4 snip two, 5 footer
+
+
+class TestSpanSubtree:
+    def test_whole_list(self):
+        assert PAGE.span_subtree(1, 4).tag == "ul"
+
+    def test_single_record(self):
+        assert PAGE.span_subtree(1, 2).tag == "li"
+
+    def test_cross_section_span(self):
+        assert PAGE.span_subtree(0, 5).tag == "body"
+
+    def test_single_line(self):
+        subtree = PAGE.span_subtree(0, 0)
+        assert subtree.tag == "h2"
+
+
+class TestSpanForest:
+    def test_record_forest_is_li_children(self):
+        forest = PAGE.span_forest(1, 2)
+        assert [e.tag for e in forest] == ["a", "br"]
+
+    def test_section_forest_is_li_list(self):
+        forest = PAGE.span_forest(1, 4)
+        assert [e.tag for e in forest] == ["li", "li"]
+
+    def test_full_page_forest(self):
+        forest = PAGE.span_forest(0, 5)
+        assert [e.tag for e in forest] == ["h2", "ul", "p"]
+
+    def test_empty_for_out_of_content(self):
+        page = render("<html><body></body></html>")
+        assert page.span_forest(0, 0) == []
+
+
+class TestDeepestCommonAncestor:
+    def test_sibling_leaves(self):
+        lis = PAGE.document.body.find_all("li")
+        assert deepest_common_ancestor(lis).tag == "ul"
+
+    def test_single_node_is_own_ancestor(self):
+        ul = PAGE.document.body.find("ul")
+        assert deepest_common_ancestor([ul]) is ul
+
+    def test_empty_returns_none(self):
+        assert deepest_common_ancestor([]) is None
+
+    def test_text_node_with_element(self):
+        li = PAGE.document.body.find("li")
+        text = next(li.iter_texts())
+        ancestor = deepest_common_ancestor([text, li])
+        assert ancestor is li
+
+
+class TestPageBasics:
+    def test_len_and_getitem(self):
+        assert len(PAGE) == 6
+        assert PAGE[0].text == "Header"
+
+    def test_dump_contains_lines(self):
+        dump = PAGE.dump()
+        assert "Header" in dump and "footer" in dump

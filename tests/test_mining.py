@@ -1,0 +1,114 @@
+"""Record mining tests (§5.4)."""
+
+from repro.core.mining import (
+    _uniform_starts,
+    candidate_partitions,
+    mine_records,
+    separator_tag_of,
+)
+from repro.features.blocks import Block
+from tests.helpers import render
+
+LIST_PAGE = render(
+    "<html><body><ul>"
+    "<li><a href='/1'>alpha title one</a><br>snippet body alpha here</li>"
+    "<li><a href='/2'>bravo title two</a><br>snippet body bravo here</li>"
+    "<li><a href='/3'>charlie title three</a><br>snippet body charlie</li>"
+    "</ul></body></html>"
+)
+
+DL_PAGE = render(
+    "<html><body><dl>"
+    "<dt><a href='/1'>alpha title</a></dt><dd>description alpha text</dd>"
+    "<dt><a href='/2'>bravo title</a></dt><dd>description bravo text</dd>"
+    "</dl></body></html>"
+)
+
+SINGLE_PAGE = render(
+    "<html><body><div>"
+    "<a href='/1'>only title here</a><br>the single snippet<br>"
+    "<font color='green'>http://example.com/x</font>"
+    "</div></body></html>"
+)
+
+FLAT_PAGE = render(
+    "<html><body><div>"
+    "<a href='/1'>alpha title</a><br>flat snippet alpha<br>"
+    "<a href='/2'>bravo title</a><br>flat snippet bravo<br>"
+    "<a href='/3'>charlie title</a><br>flat snippet charlie<br>"
+    "</div></body></html>"
+)
+
+
+class TestCandidatePartitions:
+    def test_whole_always_candidate(self):
+        block = Block(LIST_PAGE, 0, 5)
+        candidates = candidate_partitions(block)
+        assert any(len(p) == 1 for p in candidates)
+
+    def test_per_li_candidate_present(self):
+        block = Block(LIST_PAGE, 0, 5)
+        candidates = candidate_partitions(block)
+        spans = [[(r.start, r.end) for r in p] for p in candidates]
+        assert [(0, 1), (2, 3), (4, 5)] in spans
+
+    def test_dedup(self):
+        block = Block(LIST_PAGE, 0, 5)
+        candidates = candidate_partitions(block)
+        keys = [tuple(r.start for r in p) for p in candidates]
+        assert len(keys) == len(set(keys))
+
+
+class TestMineRecords:
+    def test_list_records(self):
+        records = mine_records(Block(LIST_PAGE, 0, 5))
+        assert [(r.start, r.end) for r in records] == [(0, 1), (2, 3), (4, 5)]
+
+    def test_dl_records_anchored_at_dt(self):
+        records = mine_records(Block(DL_PAGE, 0, 3))
+        assert [(r.start, r.end) for r in records] == [(0, 1), (2, 3)]
+
+    def test_single_record_ds(self):
+        # The paper's selling point: a one-record DS is mined as one record.
+        records = mine_records(Block(SINGLE_PAGE, 0, 2))
+        assert len(records) == 1
+        assert (records[0].start, records[0].end) == (0, 2)
+
+    def test_flat_br_records_via_title_anchors(self):
+        records = mine_records(Block(FLAT_PAGE, 0, 5))
+        assert [(r.start, r.end) for r in records] == [(0, 1), (2, 3), (4, 5)]
+
+    def test_sub_block_mining(self):
+        # mining a block that covers only part of the section
+        records = mine_records(Block(LIST_PAGE, 0, 3))
+        assert [(r.start, r.end) for r in records] == [(0, 1), (2, 3)]
+
+
+class TestUniformStarts:
+    def test_uniform_title_starts(self):
+        records = [Block(LIST_PAGE, 0, 1), Block(LIST_PAGE, 2, 3)]
+        assert _uniform_starts(records)
+
+    def test_snippet_start_not_uniform(self):
+        records = [Block(LIST_PAGE, 1, 2), Block(LIST_PAGE, 3, 4)]
+        assert not _uniform_starts(records)
+
+    def test_single_record(self):
+        assert _uniform_starts([Block(LIST_PAGE, 0, 1)])
+
+
+class TestSeparatorTag:
+    def test_li_separator(self):
+        records = mine_records(Block(LIST_PAGE, 0, 5))
+        assert separator_tag_of(records) == "li"
+
+    def test_dt_separator(self):
+        records = mine_records(Block(DL_PAGE, 0, 3))
+        assert separator_tag_of(records) == "dt"
+
+    def test_flat_a_separator(self):
+        records = mine_records(Block(FLAT_PAGE, 0, 5))
+        assert separator_tag_of(records) == "a"
+
+    def test_empty_records(self):
+        assert separator_tag_of([]) is None

@@ -1,0 +1,174 @@
+"""End-to-end MSE tests: induction + extraction scenarios."""
+
+import pytest
+
+from repro.core.model import PageExtraction
+from repro.core.mse import MSE, MSEConfig, build_wrapper
+from tests.helpers import make_records, sample_pages, simple_result_page
+
+
+def induce(plan, queries=("apple", "banana", "cherry")):
+    return build_wrapper(sample_pages(queries, plan))
+
+
+class TestInduction:
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            build_wrapper([("<html><body></body></html>", "q")])
+
+    def test_single_section_engine(self):
+        engine = induce([("Web", 4)])
+        assert len(engine.wrappers) >= 1
+
+    def test_multi_section_engine(self):
+        engine = induce([("Web", 4), ("News", 3), ("Images", 2)])
+        lbms = {t for w in engine.wrappers for t in w.lbm_texts}
+        assert {"web", "news", "images"} <= lbms
+
+    def test_accepts_bare_html_strings(self):
+        pages = [html for html, _ in sample_pages(("apple", "banana"), [("Web", 4)])]
+        engine = build_wrapper(pages)
+        assert engine.wrappers
+
+
+class TestExtraction:
+    def test_extraction_on_training_page(self):
+        pages = sample_pages(("apple", "banana", "cherry"), [("Web", 4)])
+        engine = build_wrapper(pages)
+        extraction = engine.extract(*pages[0])
+        assert isinstance(extraction, PageExtraction)
+        assert len(extraction) == 1
+        assert len(extraction.sections[0]) == 4
+
+    def test_extraction_on_unseen_page_with_different_count(self):
+        engine = induce([("Web", 4)])
+        html = simple_result_page("durian", [("Web", make_records("Web", 7, "durian"))])
+        extraction = engine.extract(html, "durian")
+        assert extraction.record_count == 7
+
+    def test_single_record_section_extracted(self):
+        # the record-count strength of the method: even one record works
+        engine = induce([("Web", 5), ("News", 2)], ("apple", "banana", "cherry"))
+        html = simple_result_page(
+            "durian",
+            [
+                ("Web", make_records("Web", 4, "durian")),
+                ("News", make_records("News", 1, "durian")),
+            ],
+        )
+        extraction = engine.extract(html, "durian")
+        news = [s for s in extraction.sections if s.lbm_text == "News"]
+        assert news and len(news[0]) == 1
+
+    def test_absent_section_not_extracted(self):
+        engine = induce([("Web", 4), ("News", 3)])
+        html = simple_result_page("durian", [("Web", make_records("Web", 4, "durian"))])
+        extraction = engine.extract(html, "durian")
+        assert all(s.lbm_text != "News" for s in extraction.sections)
+
+    def test_section_record_relationship_kept(self):
+        engine = induce([("Web", 3), ("News", 3)])
+        html = simple_result_page(
+            "durian",
+            [
+                ("Web", make_records("Web", 2, "durian")),
+                ("News", make_records("News", 5, "durian")),
+            ],
+        )
+        extraction = engine.extract(html, "durian")
+        counts = sorted(len(s) for s in extraction.sections)
+        assert counts == [2, 5]
+        assert extraction.record_count == 7
+
+    def test_record_text_content(self):
+        engine = induce([("Web", 4)])
+        html = simple_result_page("durian", [("Web", make_records("Web", 3, "durian"))])
+        extraction = engine.extract(html, "durian")
+        first = extraction.sections[0].records[0]
+        assert "result 0" in first.text
+        assert first.lines  # per-line texts available
+
+    def test_no_sections_on_empty_page(self):
+        engine = induce([("Web", 4)])
+        extraction = engine.extract("<html><body><p>maintenance</p></body></html>")
+        assert len(extraction) == 0
+
+    def test_all_records_flattened(self):
+        engine = induce([("Web", 3)])
+        html = simple_result_page("durian", [("Web", make_records("Web", 3, "durian"))])
+        extraction = engine.extract(html, "durian")
+        assert len(extraction.all_records()) == extraction.record_count
+
+
+class TestConfigSwitches:
+    PAGES = sample_pages(("apple", "banana", "cherry"), [("Web", 5)])
+
+    def test_no_refinement_mode_runs(self):
+        engine = build_wrapper(self.PAGES, MSEConfig(use_refinement=False))
+        extraction = engine.extract(*self.PAGES[0])
+        assert extraction.record_count >= 3
+
+    def test_no_granularity_mode_runs(self):
+        engine = build_wrapper(self.PAGES, MSEConfig(use_granularity=False))
+        assert engine.extract(*self.PAGES[0]).record_count >= 3
+
+    def test_per_child_mining_mode_runs(self):
+        engine = build_wrapper(self.PAGES, MSEConfig(mining_strategy="per-child"))
+        assert engine.wrappers is not None
+
+    def test_full_default_config(self):
+        config = MSEConfig()
+        assert config.use_families and config.use_refinement and config.use_granularity
+        assert config.mining_strategy == "cohesion"
+
+
+class TestDifferentLayouts:
+    WORDS = [
+        "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+        "hotel", "india", "juliet", "kilo", "lima",
+    ]
+
+    def words(self, query, n):
+        # Words vary with the query (as real result content does); without
+        # this, cleaned titles would be identical on every page and DSE
+        # would correctly classify them as template text.
+        salt = sum(ord(c) for c in query)
+        return [self.WORDS[(salt + 2 * i) % len(self.WORDS)] for i in range(n)]
+
+    def test_table_layout_engine(self):
+        def page(query, n):
+            rows = "".join(
+                f"<tr><td><a href='/{i}'>{w} {query} title {i}</a></td>"
+                f"<td>cell snippet {w} body</td></tr>"
+                for i, w in enumerate(self.words(query, n))
+            )
+            return (
+                f"<html><body><h1>Engine</h1><p>Results for {query}</p>"
+                f"<h2>Found</h2><table><tbody>{rows}</tbody></table>"
+                f"<p>Copyright</p></body></html>"
+            )
+
+        engine = build_wrapper(
+            [(page("apple", 4), "apple"), (page("banana", 5), "banana"),
+             (page("cherry", 4), "cherry")]
+        )
+        extraction = engine.extract(page("durian", 3), "durian")
+        assert extraction.record_count == 3
+
+    def test_flat_br_layout_engine(self):
+        def page(query, n):
+            body = "".join(
+                f"<a href='/{i}'>{w} {query} title</a><br>flat snippet {w}<br>"
+                for i, w in enumerate(self.words(query, n))
+            )
+            return (
+                f"<html><body><h1>Engine</h1><h2>Results</h2>"
+                f"<div>{body}</div><p>Copyright</p></body></html>"
+            )
+
+        engine = build_wrapper(
+            [(page("apple", 4), "apple"), (page("banana", 5), "banana"),
+             (page("cherry", 4), "cherry")]
+        )
+        extraction = engine.extract(page("durian", 3), "durian")
+        assert extraction.record_count == 3

@@ -1,0 +1,147 @@
+"""Cross-module property-based tests (hypothesis) on pipeline invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mining import mine_records
+from repro.features.blocks import Block
+from repro.features.cohesion import (
+    inter_record_distance,
+    record_diversity,
+    section_cohesion,
+)
+from repro.features.record_distance import record_distance
+from repro.htmlmod.dom import Text
+from repro.htmlmod.parser import parse_html
+from repro.render.layout import render_page
+from repro.tagpath.paths import MergedTagPath, TagPath
+
+WORDS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"]
+
+
+@st.composite
+def list_page(draw):
+    """A random ul-li result section; returns (page, true record spans)."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    with_snippet = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    items = []
+    spans = []
+    line = 0
+    for i in range(n):
+        word = WORDS[i % len(WORDS)]
+        body = f"<li><a href='/{i}'>{word} title {i}</a>"
+        length = 1
+        if with_snippet[i]:
+            body += f"<br>some snippet text about {word} here"
+            length = 2
+        body += "</li>"
+        items.append(body)
+        spans.append((line, line + length - 1))
+        line += length
+    markup = f"<html><body><ul>{''.join(items)}</ul></body></html>"
+    return render_page(parse_html(markup)), spans
+
+
+class TestRendererInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(list_page())
+    def test_every_text_leaf_in_exactly_one_line(self, data):
+        page, _ = data
+        seen = {}
+        for content_line in page.lines:
+            for leaf in content_line.leaves:
+                assert id(leaf) not in seen, "leaf rendered twice"
+                seen[id(leaf)] = content_line.number
+        for text in page.document.body.iter_texts():
+            if text.data.strip():
+                assert id(text) in seen, f"text leaf lost: {text.data!r}"
+
+    @settings(max_examples=30, deadline=None)
+    @given(list_page())
+    def test_line_numbers_are_dense(self, data):
+        page, _ = data
+        assert [l.number for l in page.lines] == list(range(len(page.lines)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(list_page())
+    def test_tag_paths_resolve(self, data):
+        page, _ = data
+        for line in page.lines:
+            path = line.tag_path
+            assert path.resolve(page.document.root) is not None
+
+
+class TestMeasureInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(list_page(), st.randoms(use_true_random=False))
+    def test_record_distance_bounds_and_symmetry(self, data, rng):
+        page, _ = data
+        n = len(page.lines)
+        blocks = []
+        for _ in range(4):
+            start = rng.randrange(n)
+            end = rng.randrange(start, n)
+            blocks.append(Block(page, start, end))
+        for a in blocks:
+            for b in blocks:
+                d_ab = record_distance(a, b)
+                assert 0.0 <= d_ab <= 1.0 + 1e-9
+                assert abs(d_ab - record_distance(b, a)) < 1e-9
+        for block in blocks:
+            assert record_distance(block, block) < 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(list_page())
+    def test_cohesion_nonnegative(self, data):
+        page, spans = data
+        records = [Block(page, s, e) for s, e in spans]
+        assert section_cohesion(records) >= 0.0
+        assert inter_record_distance(records) >= 0.0
+        for record in records:
+            assert record_diversity(record) >= 0.0
+
+
+class TestMiningInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(list_page())
+    def test_mined_records_tile_the_block(self, data):
+        page, spans = data
+        block = Block(page, spans[0][0], spans[-1][1])
+        records = mine_records(block)
+        assert records[0].start == block.start
+        assert records[-1].end == block.end
+        for left, right in zip(records, records[1:]):
+            assert left.end + 1 == right.start
+
+    @settings(max_examples=30, deadline=None)
+    @given(list_page())
+    def test_mined_records_match_truth_for_clean_lists(self, data):
+        page, spans = data
+        block = Block(page, spans[0][0], spans[-1][1])
+        records = mine_records(block)
+        assert [(r.start, r.end) for r in records] == spans
+
+
+class TestTagPathInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(list_page())
+    def test_merged_path_finds_all_inputs(self, data):
+        page, _ = data
+        lis = page.document.body.find_all("li")
+        paths = [TagPath.to_node(li) for li in lis]
+        merged = MergedTagPath.merge(paths)
+        found = merged.find(page.document.root)
+        for li in lis:
+            assert li in found
+
+    @settings(max_examples=30, deadline=None)
+    @given(list_page())
+    def test_path_distance_triangle_over_compatible(self, data):
+        page, _ = data
+        lis = page.document.body.find_all("li")
+        paths = [TagPath.to_node(li) for li in lis]
+        for a in paths:
+            for b in paths:
+                for c in paths:
+                    assert a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9

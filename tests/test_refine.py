@@ -1,0 +1,165 @@
+"""Refinement tests: the five MR/DS relationship cases (§5.3)."""
+
+from repro.core.dse import DynamicSection
+from repro.core.mre import TentativeMR, extract_mrs
+from repro.core.refine import refine_page
+from repro.features.blocks import Block
+from tests.helpers import render
+
+# A section of 5 uniform records (lines 1-10) between a header (0) and a
+# footer (11), followed by chrome (12).
+PAGE = render(
+    "<html><body>"
+    "<h2>Web</h2>"
+    "<ul>"
+    + "".join(
+        f"<li><a href='/{i}'>{w} title {i}</a><br>snippet {w} body</li>"
+        for i, w in enumerate(["alpha", "bravo", "charlie", "delta", "echo"])
+    )
+    + "</ul>"
+    "<a href='/more'>More results</a>"
+    "<p>Copyright TestCorp</p>"
+    "</body></html>"
+)
+# lines: 0=h2, 1..10 records (2 lines each), 11=more, 12=copyright
+CSBMS = {0, 11, 12}
+
+
+def mr(start_ends):
+    return TentativeMR(PAGE, [Block(PAGE, s, e) for s, e in start_ends])
+
+
+def ds(start, end, lbm=None, rbm=None):
+    return DynamicSection(PAGE, start, end, lbm=lbm, rbm=rbm)
+
+
+RECORDS = [(1, 2), (3, 4), (5, 6), (7, 8), (9, 10)]
+
+
+class TestCase1ExactMatch:
+    def test_perfect_match_kept(self):
+        result = refine_page(PAGE, [mr(RECORDS)], [ds(1, 10, 0, 11)], CSBMS)
+        assert len(result.sections) == 1
+        section = result.sections[0]
+        assert section.record_spans() == RECORDS
+        assert section.lbm == 0 and section.rbm == 11
+        assert result.pending == []
+
+
+class TestCase4Intersection:
+    def test_em_left_trimmed_when_lbm_correct(self):
+        # MR wrongly starts at the header line 0.
+        bad = mr([(0, 2)] + RECORDS[1:])
+        result = refine_page(PAGE, [bad], [ds(1, 10, 0, 11)], CSBMS)
+        section = result.sections[0]
+        assert section.start >= 1
+        assert section.end == 10
+
+    def test_ed_right_growth(self):
+        # MR misses the last record; the ED pass grows it back.
+        short = mr(RECORDS[:4])
+        result = refine_page(PAGE, [short], [ds(1, 10, 0, 11)], CSBMS)
+        section = result.sections[0]
+        assert section.record_spans() == RECORDS
+        assert result.pending == []
+
+    def test_ed_left_growth(self):
+        short = mr(RECORDS[1:])
+        result = refine_page(PAGE, [short], [ds(1, 10, 0, 11)], CSBMS)
+        section = result.sections[0]
+        assert section.record_spans() == RECORDS
+
+    def test_dissimilar_leftover_becomes_pending(self):
+        # DS includes the more-link line 11 (suppose it were not a CSBM):
+        # growth must reject it and emit a leftover DS.
+        result = refine_page(
+            PAGE, [mr(RECORDS)], [ds(1, 11, 0, 12)], {0, 12}
+        )
+        section = result.sections[0]
+        assert section.end == 10
+        assert any(p.start == 11 and p.end == 11 for p in result.pending)
+
+
+class TestCase5NoOverlap:
+    def test_static_mr_discarded(self):
+        # An MR over chrome with no DS anywhere near it disappears.
+        static = mr([(11, 11), (12, 12)])
+        result = refine_page(PAGE, [static], [ds(1, 10, 0, 11)], CSBMS)
+        assert all(s.start != 11 for s in result.sections)
+
+    def test_ds_without_mr_pending(self):
+        result = refine_page(PAGE, [], [ds(1, 4, 0, None)], CSBMS)
+        assert result.sections == []
+        assert [(p.start, p.end) for p in result.pending] == [(1, 4)]
+
+
+class TestCase2And3:
+    def test_mr_spanning_two_dss_split(self):
+        # Two same-format sections with a real header between them; an MR
+        # that swallowed the header is split at the DS boundaries because
+        # the record containing the header fails the similarity test.
+        page = render(
+            "<html><body><h2>Web</h2><ul>"
+            "<li><a href='/1'>alpha title</a><br>snippet alpha body</li>"
+            "<li><a href='/2'>bravo title</a><br>snippet bravo body</li>"
+            "</ul><h2>News</h2><ul>"
+            "<li><a href='/3'>charlie title</a><br>snippet charlie body</li>"
+            "<li><a href='/4'>delta title</a><br>snippet delta body</li>"
+            "</ul></body></html>"
+        )
+        # lines: 0=h2, 1-4 records, 5=h2, 6-9 records
+        swallowed = TentativeMR(
+            page,
+            [
+                Block(page, 1, 2),
+                Block(page, 3, 5),  # record that absorbed the News header
+                Block(page, 6, 7),
+                Block(page, 8, 9),
+            ],
+        )
+        dss = [
+            DynamicSection(page, 1, 4, lbm=0, rbm=5),
+            DynamicSection(page, 6, 9, lbm=5, rbm=None),
+        ]
+        result = refine_page(page, [swallowed], dss, {0, 5})
+        assert len(result.sections) == 2
+        assert result.sections[0].end <= 4
+        assert result.sections[1].start >= 6
+
+    def test_false_marker_absorbed(self):
+        # A CSBM that sits between visually identical records (a per-record
+        # string that escaped filtering) is a *false* marker: §5.3 extends
+        # the section across it rather than splitting.
+        two_part = mr([(1, 2), (3, 4), (5, 6), (7, 8), (9, 10)])
+        dss = [ds(1, 6, 0, 7), ds(8, 10, 7, 11)]
+        result = refine_page(PAGE, [two_part], dss, {0, 7, 11, 12})
+        covered = set()
+        for section in result.sections:
+            covered.update(range(section.start, section.end + 1))
+        assert set(range(1, 11)) <= covered
+
+    def test_two_mrs_inside_one_ds(self):
+        parts = [mr(RECORDS[:2]), mr(RECORDS[3:])]
+        result = refine_page(PAGE, parts, [ds(1, 10, 0, 11)], CSBMS)
+        covered = set()
+        for section in result.sections:
+            covered.update(range(section.start, section.end + 1))
+        for p in result.pending:
+            covered.update(range(p.start, p.end + 1))
+        assert covered == set(range(1, 11))
+
+
+class TestResultShape:
+    def test_sections_sorted(self):
+        parts = [mr(RECORDS[3:]), mr(RECORDS[:2])]
+        result = refine_page(PAGE, parts, [ds(1, 10, 0, 11)], CSBMS)
+        starts = [s.start for s in result.sections]
+        assert starts == sorted(starts)
+
+    def test_pending_clipped_against_sections(self):
+        result = refine_page(
+            PAGE, [mr(RECORDS)], [ds(1, 10, 0, 11), ds(12, 12, 11, None)], CSBMS
+        )
+        for p in result.pending:
+            for s in result.sections:
+                assert p.end < s.start or p.start > s.end

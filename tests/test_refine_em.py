@@ -1,0 +1,73 @@
+"""Refinement EM-side tests: boundary-marker verification on both sides."""
+
+from repro.core.dse import DynamicSection
+from repro.core.mre import TentativeMR
+from repro.core.refine import refine_page
+from repro.features.blocks import Block
+from tests.helpers import render
+
+# header(0), 4 records of 2 lines (1-8), footer(9), copyright(10)
+PAGE = render(
+    "<html><body>"
+    "<h2>Web</h2>"
+    "<ul>"
+    + "".join(
+        f"<li><a href='/{i}'>{w} title {i}</a><br>snippet {w} body</li>"
+        for i, w in enumerate(["alpha", "bravo", "charlie", "delta"])
+    )
+    + "</ul>"
+    "<a href='/more'>More results</a>"
+    "<p>Copyright TestCorp</p>"
+    "</body></html>"
+)
+CSBMS = {0, 9, 10}
+RECORDS = [(1, 2), (3, 4), (5, 6), (7, 8)]
+
+
+def mr(spans):
+    return TentativeMR(PAGE, [Block(PAGE, s, e) for s, e in spans])
+
+
+class TestEmRight:
+    def test_overrun_into_footer_trimmed(self):
+        # The MR's last record swallowed the footer and copyright lines.
+        bad = mr(RECORDS[:3] + [(7, 10)])
+        result = refine_page(
+            PAGE, [bad], [DynamicSection(PAGE, 1, 8, lbm=0, rbm=9)], CSBMS
+        )
+        section = result.sections[0]
+        assert section.end <= 8
+        assert section.record_spans()[-1][1] <= 8
+
+    def test_rbm_verified_when_boundary_record_dissimilar(self):
+        # A record containing the footer line looks nothing like the
+        # overlap records -> the RBM is correct, the EM part is dropped.
+        bad = mr(RECORDS + [(9, 10)])
+        result = refine_page(
+            PAGE, [bad], [DynamicSection(PAGE, 1, 8, lbm=0, rbm=9)], CSBMS
+        )
+        section = result.sections[0]
+        assert section.record_spans() == RECORDS
+
+
+class TestEmBothSides:
+    def test_mr_overrunning_both_ends(self):
+        bad = mr([(0, 2)] + RECORDS[1:3] + [(7, 9)])
+        result = refine_page(
+            PAGE, [bad], [DynamicSection(PAGE, 1, 8, lbm=0, rbm=9)], CSBMS
+        )
+        section = result.sections[0]
+        assert 1 <= section.start
+        assert section.end <= 8
+        # all four records recovered despite both boundaries being wrong
+        assert len(section.records) == 4
+
+
+class TestMarkersRecorded:
+    def test_section_markers_are_nearest_csbms(self):
+        result = refine_page(
+            PAGE, [mr(RECORDS)], [DynamicSection(PAGE, 1, 8, lbm=0, rbm=9)], CSBMS
+        )
+        section = result.sections[0]
+        assert section.lbm == 0
+        assert section.rbm == 9

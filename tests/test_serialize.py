@@ -1,0 +1,98 @@
+"""Wrapper serialization tests."""
+
+import json
+
+import pytest
+
+from repro.core.mse import build_wrapper
+from repro.core.serialize import (
+    WrapperFormatError,
+    load_wrapper,
+    save_wrapper,
+    wrapper_from_json,
+    wrapper_to_json,
+)
+from tests.helpers import make_records, sample_pages, simple_result_page
+
+
+@pytest.fixture(scope="module")
+def engine():
+    pages = sample_pages(
+        ("apple", "banana", "cherry"), [("Web", 4), ("News", 3)]
+    )
+    return build_wrapper(pages)
+
+
+class TestRoundTrip:
+    def test_json_is_valid(self, engine):
+        payload = json.loads(wrapper_to_json(engine))
+        assert payload["format"] == "repro-mse-wrapper"
+        assert payload["version"] == 1
+
+    def test_wrappers_survive(self, engine):
+        restored = wrapper_from_json(wrapper_to_json(engine))
+        assert len(restored.wrappers) == len(engine.wrappers)
+        for a, b in zip(engine.wrappers, restored.wrappers):
+            assert a.schema_id == b.schema_id
+            assert str(a.pref) == str(b.pref)
+            assert a.separator == b.separator
+            assert a.lbm_texts == b.lbm_texts
+            assert a.lbm_attrs == b.lbm_attrs
+            assert a.record_attrs == b.record_attrs
+            assert a.typical_records == b.typical_records
+            assert a.markers_inside == b.markers_inside
+
+    def test_families_survive(self, engine):
+        restored = wrapper_from_json(wrapper_to_json(engine))
+        assert len(restored.families) == len(engine.families)
+        for a, b in zip(engine.families, restored.families):
+            assert type(a) is type(b)
+            assert a.member_ids == b.member_ids
+            assert a.lbm_attrs == b.lbm_attrs
+
+    def test_extraction_identical_after_round_trip(self, engine):
+        restored = wrapper_from_json(wrapper_to_json(engine))
+        html = simple_result_page(
+            "durian",
+            [
+                ("Web", make_records("Web", 5, "durian")),
+                ("News", make_records("News", 2, "durian")),
+            ],
+        )
+        original = engine.extract(html, "durian")
+        reloaded = restored.extract(html, "durian")
+        assert [s.line_span for s in original.sections] == [
+            s.line_span for s in reloaded.sections
+        ]
+        assert [r.line_span for s in original.sections for r in s.records] == [
+            r.line_span for s in reloaded.sections for r in s.records
+        ]
+
+    def test_file_round_trip(self, engine, tmp_path):
+        path = tmp_path / "wrapper.json"
+        save_wrapper(engine, str(path))
+        restored = load_wrapper(str(path))
+        assert len(restored.wrappers) == len(engine.wrappers)
+
+
+class TestErrors:
+    def test_not_json(self):
+        with pytest.raises(WrapperFormatError):
+            wrapper_from_json("this is not json {")
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(WrapperFormatError):
+            wrapper_from_json(json.dumps({"format": "something-else"}))
+
+    def test_unknown_version(self, engine):
+        payload = json.loads(wrapper_to_json(engine))
+        payload["version"] = 999
+        with pytest.raises(WrapperFormatError):
+            wrapper_from_json(json.dumps(payload))
+
+    def test_unknown_family_type(self, engine):
+        payload = json.loads(wrapper_to_json(engine))
+        if payload["families"]:
+            payload["families"][0]["type"] = 7
+            with pytest.raises(WrapperFormatError):
+                wrapper_from_json(json.dumps(payload))

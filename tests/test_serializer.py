@@ -1,0 +1,99 @@
+"""Serializer tests (round trips, escaping)."""
+
+from hypothesis import given, strategies as st
+
+from repro.htmlmod.dom import Comment, Document, Element, Text
+from repro.htmlmod.parser import parse_html
+from repro.htmlmod.serializer import serialize, serialize_node
+
+
+class TestSerializeNode:
+    def test_simple_element(self):
+        el = Element("p")
+        el.append_text("hi")
+        assert serialize_node(el) == "<p>hi</p>"
+
+    def test_attributes_quoted(self):
+        el = Element("a", {"href": "/x"})
+        assert serialize_node(el) == '<a href="/x"></a>'
+
+    def test_attribute_value_escaped(self):
+        el = Element("a", {"title": 'say "hi" & go'})
+        out = serialize_node(el)
+        assert "&quot;" in out and "&amp;" in out
+
+    def test_text_escaped(self):
+        el = Element("p")
+        el.append_text("a < b & c")
+        assert serialize_node(el) == "<p>a &lt; b &amp; c</p>"
+
+    def test_void_element_no_end_tag(self):
+        el = Element("div")
+        el.append(Element("br"))
+        assert serialize_node(el) == "<div><br></div>"
+
+    def test_comment(self):
+        el = Element("div")
+        el.append(Comment("note"))
+        assert serialize_node(el) == "<div><!--note--></div>"
+
+
+class TestDocumentSerialization:
+    def test_default_doctype(self):
+        doc = Document(Element("html"))
+        assert serialize(doc).startswith("<!DOCTYPE html>")
+
+    def test_custom_doctype_preserved(self):
+        doc = Document(Element("html"), doctype="DOCTYPE html PUBLIC x")
+        assert serialize(doc).startswith("<!DOCTYPE html PUBLIC x>")
+
+
+class TestRoundTrip:
+    def test_structure_survives_round_trip(self):
+        markup = (
+            "<html><body><table><tr><td><a href='/a'>A</a></td>"
+            "<td><b>B</b></td></tr></table><ul><li>x</li></ul></body></html>"
+        )
+        doc = parse_html(markup)
+        again = parse_html(serialize(doc))
+        assert doc.root.tag_signature() == again.root.tag_signature()
+
+    def test_text_survives_round_trip(self):
+        doc = parse_html("<body><p>a &amp; b</p></body>")
+        again = parse_html(serialize(doc))
+        assert again.body.text_content() == "a & b"
+
+    @given(
+        st.text(
+            alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_arbitrary_text_round_trips(self, text):
+        el = Element("p")
+        el.append_text(text)
+        doc = Document(_wrap(el))
+        again = parse_html(serialize(doc))
+        from repro.htmlmod.dom import collapse_whitespace
+
+        assert again.body.text_content() == collapse_whitespace(text)
+
+    @given(st.dictionaries(st.sampled_from(["href", "class", "id", "title"]),
+                           st.text(max_size=20), max_size=3))
+    def test_arbitrary_attrs_round_trip(self, attrs):
+        el = Element("a", attrs)
+        doc = Document(_wrap(el))
+        again = parse_html(serialize(doc))
+        anchor = again.body.find("a")
+        assert anchor is not None
+        for key, value in attrs.items():
+            assert anchor.get(key) == value
+
+
+def _wrap(element):
+    root = Element("html")
+    body = Element("body")
+    root.append(body)
+    body.append(element)
+    return root

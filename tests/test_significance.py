@@ -1,0 +1,73 @@
+"""Bootstrap confidence interval tests."""
+
+import pytest
+
+from repro.evalkit.harness import run_evaluation
+from repro.evalkit.significance import (
+    Interval,
+    bootstrap_metric,
+    recall_precision_intervals,
+)
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_evaluation("all", limit=8)
+
+
+class TestBootstrap:
+    def test_point_inside_interval(self, run):
+        ci = bootstrap_metric(run, lambda c: c.recall_total, samples=200)
+        assert ci.low <= ci.point <= ci.high
+
+    def test_deterministic_for_seed(self, run):
+        a = bootstrap_metric(run, lambda c: c.recall_total, samples=100, seed=7)
+        b = bootstrap_metric(run, lambda c: c.recall_total, samples=100, seed=7)
+        assert a == b
+
+    def test_different_seeds_share_point_estimate(self, run):
+        a = bootstrap_metric(run, lambda c: c.recall_total, samples=100, seed=1)
+        b = bootstrap_metric(run, lambda c: c.recall_total, samples=100, seed=2)
+        assert a.point == b.point  # the point estimate never depends on the seed
+
+    def test_wider_confidence_wider_interval(self, run):
+        narrow = bootstrap_metric(
+            run, lambda c: c.recall_total, samples=300, confidence=0.5
+        )
+        wide = bootstrap_metric(
+            run, lambda c: c.recall_total, samples=300, confidence=0.99
+        )
+        assert wide.high - wide.low >= narrow.high - narrow.low
+
+    def test_bounds_within_metric_range(self, run):
+        ci = bootstrap_metric(run, lambda c: c.precision_total, samples=200)
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+
+    def test_empty_run_raises(self):
+        from repro.evalkit.harness import EvaluationRun
+
+        with pytest.raises(ValueError):
+            bootstrap_metric(EvaluationRun(), lambda c: c.recall_total)
+
+    def test_bad_confidence_raises(self, run):
+        with pytest.raises(ValueError):
+            bootstrap_metric(run, lambda c: c.recall_total, confidence=1.5)
+
+    def test_all_four_intervals(self, run):
+        intervals = recall_precision_intervals(run, samples=100)
+        assert len(intervals) == 4
+        for ci in intervals:
+            assert isinstance(ci, Interval)
+
+
+class TestInterval:
+    def test_str_format(self):
+        ci = Interval(point=0.912, low=0.88, high=0.94, confidence=0.95)
+        assert str(ci) == "91.2 [88.0, 94.0]"
+
+    def test_overlap(self):
+        a = Interval(0.9, 0.85, 0.95, 0.95)
+        b = Interval(0.93, 0.9, 0.97, 0.95)
+        c = Interval(0.5, 0.45, 0.55, 0.95)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)

@@ -1,0 +1,104 @@
+"""Stable marriage tests (exact matchings + stability property)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.stable_marriage import is_stable, stable_match
+
+
+class TestBasicMatching:
+    def test_mutual_best_pairs(self):
+        scores = [[3.0, 1.0], [2.0, 4.0]]
+        assert stable_match(scores) == [(0, 0), (1, 1)]
+
+    def test_contested_column(self):
+        # Both rows prefer column 0; the higher scorer gets it.
+        scores = [[5.0, 1.0], [9.0, 2.0]]
+        matching = dict(stable_match(scores))
+        assert matching[1] == 0
+        assert matching[0] == 1
+
+    def test_single_pair(self):
+        assert stable_match([[1.0]]) == [(0, 0)]
+
+    def test_empty_matrix(self):
+        assert stable_match([]) == []
+
+    def test_more_rows_than_columns(self):
+        scores = [[1.0], [2.0], [3.0]]
+        matching = stable_match(scores)
+        assert len(matching) == 1
+        assert matching[0][1] == 0
+
+    def test_more_columns_than_rows(self):
+        scores = [[1.0, 5.0, 3.0]]
+        assert stable_match(scores) == [(0, 1)]
+
+
+class TestThreshold:
+    def test_below_threshold_never_matched(self):
+        scores = [[0.4, 0.2], [0.1, 0.3]]
+        assert stable_match(scores, threshold=0.5) == []
+
+    def test_partial_acceptability(self):
+        scores = [[0.9, 0.1], [0.2, 0.3]]
+        matching = stable_match(scores, threshold=0.5)
+        assert matching == [(0, 0)]
+
+    def test_threshold_allows_no_match_even_when_mutually_best(self):
+        # The paper's modification: a mutually-best pair below the
+        # threshold stays unmatched.
+        scores = [[0.45]]
+        assert stable_match(scores, threshold=0.5) == []
+
+    def test_exactly_at_threshold_is_acceptable(self):
+        assert stable_match([[0.5]], threshold=0.5) == [(0, 0)]
+
+
+class TestStability:
+    def test_is_stable_detects_blocking_pair(self):
+        scores = [[5.0, 1.0], [9.0, 2.0]]
+        # Wrong assignment: row1 and col0 prefer each other.
+        assert not is_stable(scores, [(0, 0), (1, 1)])
+        assert is_stable(scores, [(0, 1), (1, 0)])
+
+    def test_empty_matching_of_empty_graph_is_stable(self):
+        assert is_stable([], [])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.randoms(use_true_random=False),
+    )
+    def test_result_is_always_stable(self, rows, cols, rng):
+        scores = [[rng.random() for _ in range(cols)] for _ in range(rows)]
+        matching = stable_match(scores)
+        assert is_stable(scores, matching)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.randoms(use_true_random=False),
+    )
+    def test_result_stable_under_threshold(self, rows, cols, threshold, rng):
+        scores = [[rng.random() for _ in range(cols)] for _ in range(rows)]
+        matching = stable_match(scores, threshold=threshold)
+        assert is_stable(scores, matching, threshold=threshold)
+        for row, col in matching:
+            assert scores[row][col] >= threshold
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.randoms(use_true_random=False),
+    )
+    def test_one_to_one(self, n, rng):
+        scores = [[rng.random() for _ in range(n)] for _ in range(n)]
+        matching = stable_match(scores)
+        rows = [r for r, _ in matching]
+        cols = [c for _, c in matching]
+        assert len(set(rows)) == len(rows)
+        assert len(set(cols)) == len(cols)
+        assert len(matching) == n  # square all-acceptable: perfect matching

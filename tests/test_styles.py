@@ -1,0 +1,145 @@
+"""Text attribute resolution tests."""
+
+from repro.render.styles import (
+    TextAttr,
+    apply_element_style,
+    default_attr,
+    parse_inline_style,
+)
+
+
+def apply(attr, tag, attrs=None):
+    return apply_element_style(attr, tag, attrs or {})
+
+
+class TestPresentationalTags:
+    def test_bold(self):
+        assert apply(default_attr(), "b").bold
+
+    def test_strong(self):
+        assert apply(default_attr(), "strong").bold
+
+    def test_italic(self):
+        assert apply(default_attr(), "i").italic
+        assert apply(default_attr(), "em").italic
+
+    def test_bold_italic_combination(self):
+        attr = apply(apply(default_attr(), "b"), "i")
+        assert attr.style == "bold italic"
+        assert attr.bold and attr.italic
+
+    def test_underline(self):
+        assert apply(default_attr(), "u").underline
+
+    def test_headings_sized_and_bold(self):
+        h1 = apply(default_attr(), "h1")
+        h3 = apply(default_attr(), "h3")
+        assert h1.size > h3.size > 0
+        assert h1.bold and h3.bold
+
+    def test_big_small(self):
+        base = default_attr()
+        assert apply(base, "big").size == base.size + 2
+        assert apply(base, "small").size == base.size - 2
+
+    def test_anchor_blue_underlined(self):
+        attr = apply(default_attr(), "a", {"href": "/x"})
+        assert attr.color == "blue"
+        assert attr.underline
+
+    def test_anchor_without_href_unstyled(self):
+        attr = apply(default_attr(), "a", {})
+        assert attr.color == default_attr().color
+
+    def test_monospace_tags(self):
+        assert apply(default_attr(), "tt").font == "courier new"
+        assert apply(default_attr(), "code").font == "courier new"
+
+    def test_th_bold(self):
+        assert apply(default_attr(), "th").bold
+
+
+class TestFontTag:
+    def test_face(self):
+        attr = apply(default_attr(), "font", {"face": "Arial, Helvetica"})
+        assert attr.font == "arial"
+
+    def test_absolute_size(self):
+        attr = apply(default_attr(), "font", {"size": "5"})
+        assert attr.size == 18
+
+    def test_relative_size(self):
+        attr = apply(default_attr(), "font", {"size": "+1"})
+        assert attr.size == 14
+
+    def test_size_clamped(self):
+        attr = apply(default_attr(), "font", {"size": "99"})
+        assert attr.size == 32  # legacy size 7
+
+    def test_color(self):
+        attr = apply(default_attr(), "font", {"color": "#FF0000"})
+        assert attr.color == "#ff0000"
+
+    def test_invalid_size_ignored(self):
+        attr = apply(default_attr(), "font", {"size": "huge"})
+        assert attr.size == default_attr().size
+
+
+class TestInlineCss:
+    def test_parse_inline_style(self):
+        css = parse_inline_style("color: red; font-size: 14px")
+        assert css == {"color": "red", "font-size": "14px"}
+
+    def test_font_family(self):
+        attr = apply(default_attr(), "span", {"style": "font-family: 'Verdana', sans"})
+        assert attr.font == "verdana"
+
+    def test_font_size_px(self):
+        attr = apply(default_attr(), "span", {"style": "font-size: 18px"})
+        assert attr.size == 18
+
+    def test_font_size_pt_converted(self):
+        attr = apply(default_attr(), "span", {"style": "font-size: 12pt"})
+        assert attr.size == 16
+
+    def test_font_size_keywords(self):
+        attr = apply(default_attr(), "span", {"style": "font-size: x-large"})
+        assert attr.size == 18
+
+    def test_font_weight(self):
+        assert apply(default_attr(), "span", {"style": "font-weight: bold"}).bold
+        assert apply(default_attr(), "span", {"style": "font-weight: 700"}).bold
+        assert not apply(default_attr(), "span", {"style": "font-weight: normal"}).bold
+
+    def test_font_style(self):
+        assert apply(default_attr(), "span", {"style": "font-style: italic"}).italic
+
+    def test_color(self):
+        attr = apply(default_attr(), "span", {"style": "color: green"})
+        assert attr.color == "green"
+
+    def test_text_decoration(self):
+        attr = apply(default_attr(), "span", {"style": "text-decoration: underline"})
+        assert attr.underline
+
+    def test_css_overrides_tag_defaults(self):
+        attr = apply(default_attr(), "b", {"style": "font-weight: normal"})
+        assert not attr.bold
+
+
+class TestTextAttrValue:
+    def test_equality_and_hash(self):
+        a = TextAttr("arial", 12, "bold", "red")
+        b = TextAttr("arial", 12, "bold", "red")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_str(self):
+        text = str(TextAttr("arial", 14, "bold", "red", underline=True))
+        assert "arial" in text and "14" in text and "bold" in text
+
+    def test_default(self):
+        attr = default_attr()
+        assert attr.style == "plain"
+        assert not attr.underline

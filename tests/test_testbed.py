@@ -1,0 +1,190 @@
+"""Test-bed generator tests: determinism, structure, ground truth."""
+
+import pytest
+
+from repro.htmlmod.parser import parse_html
+from repro.render.layout import render_page
+from repro.testbed import (
+    MULTI_SECTION_ENGINES,
+    SINGLE_SECTION_ENGINES,
+    TOTAL_ENGINES,
+    Repository,
+    boundary_marker_rate,
+    compute_truth,
+    engine_ids,
+    load_engine_pages,
+    make_engine,
+)
+from repro.testbed.vocab import make_query, make_snippet, make_title
+import random
+
+
+class TestVocab:
+    def test_query_deterministic(self):
+        assert make_query(random.Random(7)) == make_query(random.Random(7))
+
+    def test_title_echoes_query_term(self):
+        rng = random.Random(1)
+        title = make_title(rng, "asthma")
+        assert "asthma" in title
+
+    def test_snippet_echoes_query_term(self):
+        rng = random.Random(1)
+        assert "lunar" in make_snippet(rng, "lunar")
+
+
+class TestRepository:
+    def repo(self, **kwargs):
+        return Repository(seed=42, topic="News", domain="newsdigest", **kwargs)
+
+    def test_deterministic_per_query(self):
+        repo = self.repo()
+        assert [r.title for r in repo.retrieve("asthma")] == [
+            r.title for r in repo.retrieve("asthma")
+        ]
+
+    def test_different_queries_different_results(self):
+        repo = self.repo()
+        a = [r.title for r in repo.retrieve("asthma")]
+        b = [r.title for r in repo.retrieve("lunar")]
+        assert a != b
+
+    def test_hit_count_bounds(self):
+        repo = self.repo(min_hits=2, max_hits=4)
+        for query in ("a", "b", "c", "d"):
+            assert 2 <= len(repo.retrieve(query)) <= 4
+
+    def test_empty_rate_one_always_empty(self):
+        repo = self.repo(empty_rate=1.0)
+        assert repo.retrieve("anything") == []
+
+    def test_records_have_titles_and_urls(self):
+        for record in self.repo().retrieve("asthma"):
+            assert record.title
+            assert record.url.startswith("http://")
+
+
+class TestEngineGeneration:
+    def test_deterministic(self):
+        a = make_engine(5)
+        b = make_engine(5)
+        assert a.name == b.name
+        assert [s.topic for s in a.sections] == [s.topic for s in b.sections]
+        assert a.result_page("lunar") == b.result_page("lunar")
+
+    def test_single_section_split(self):
+        assert not make_engine(0).is_multi_section
+        assert make_engine(SINGLE_SECTION_ENGINES).is_multi_section
+
+    def test_corpus_size(self):
+        assert TOTAL_ENGINES == 119
+        assert len(engine_ids("single")) == 81
+        assert len(engine_ids("multi")) == MULTI_SECTION_ENGINES == 38
+
+    def test_bad_engine_id(self):
+        with pytest.raises(ValueError):
+            make_engine(TOTAL_ENGINES)
+
+    def test_queries_distinct(self):
+        queries = make_engine(3).queries(10)
+        assert len(queries) == len(set(queries)) == 10
+
+    def test_result_page_is_parseable_html(self):
+        engine = make_engine(7)
+        page = render_page(parse_html(engine.result_page("lunar")))
+        assert len(page.lines) > 5
+
+    def test_boundary_marker_rate_near_paper(self):
+        rate = boundary_marker_rate()
+        assert 0.93 <= rate <= 1.0  # paper reports 96.9%
+
+
+class TestGroundTruth:
+    def test_truth_sections_present_when_repository_nonempty(self):
+        ep = load_engine_pages(0, pages_per_engine=2)
+        for truth in ep.truths:
+            assert len(truth.sections) >= 1
+
+    def test_record_spans_tile_the_section(self):
+        ep = load_engine_pages(2, pages_per_engine=2)
+        for truth in ep.truths:
+            for section in truth.sections:
+                spans = sorted(section.record_spans)
+                for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                    assert e1 + 1 == s2  # contiguous
+                assert spans[0][0] == section.span[0]
+                assert spans[-1][1] == section.span[1]
+
+    def test_truth_spans_sorted(self):
+        ep = load_engine_pages(90, pages_per_engine=2)
+        for truth in ep.truths:
+            starts = [s.span[0] for s in truth.sections]
+            assert starts == sorted(starts)
+
+    def test_sections_do_not_overlap(self):
+        ep = load_engine_pages(95, pages_per_engine=3)
+        for truth in ep.truths:
+            spans = sorted(s.span for s in truth.sections)
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert e1 < s2
+
+    def test_shared_table_truth(self):
+        # find a shared-table engine among the multi-section ids
+        shared = next(
+            (eid for eid in engine_ids("multi") if make_engine(eid).shared_table),
+            None,
+        )
+        assert shared is not None, "corpus should contain shared-table engines"
+        ep = load_engine_pages(shared, pages_per_engine=2)
+        for truth in ep.truths:
+            assert truth.sections
+
+    def test_record_text_is_query_related(self):
+        ep = load_engine_pages(1, pages_per_engine=1)
+        truth = ep.truths[0]
+        query_terms = ep.queries[0].split()
+        section = truth.sections[0]
+        start, end = section.record_spans[0]
+        text = " ".join(l.text for l in truth.page.lines[start : end + 1])
+        assert any(term in text for term in query_terms)
+
+
+class TestMarkersInvisibleToExtractor:
+    """data-gt-* attributes must not influence anything the pipeline sees."""
+
+    def test_rendering_identical_without_markers(self):
+        engine = make_engine(10)
+        markup = engine.result_page("lunar")
+        stripped = _strip_markers(markup)
+        original = render_page(parse_html(markup))
+        clean = render_page(parse_html(stripped))
+        assert [(l.text, l.line_type, l.position) for l in original.lines] == [
+            (l.text, l.line_type, l.position) for l in clean.lines
+        ]
+
+    def test_tag_signatures_identical_without_markers(self):
+        engine = make_engine(99)
+        markup = engine.result_page("lunar")
+        doc1 = parse_html(markup)
+        doc2 = parse_html(_strip_markers(markup))
+        assert doc1.root.tag_signature() == doc2.root.tag_signature()
+
+    def test_extraction_identical_without_markers(self):
+        ep = load_engine_pages(4)
+        from repro.core.mse import build_wrapper
+
+        engine = build_wrapper(ep.sample_set)
+        marked = engine.extract(ep.pages[5], ep.queries[5])
+        clean = engine.extract(_strip_markers(ep.pages[5]), ep.queries[5])
+        assert [s.line_span for s in marked.sections] == [
+            s.line_span for s in clean.sections
+        ]
+        assert [r.line_span for s in marked.sections for r in s.records] == [
+            r.line_span for s in clean.sections for r in s.records
+        ]
+
+
+def _strip_markers(markup: str) -> str:
+    import re
+
+    return re.sub(r'\s*data-gt-[a-z]+="[^"]*"', "", markup)

@@ -1,0 +1,86 @@
+"""Tokenizer tests."""
+
+from repro.htmlmod.tokens import (
+    CommentToken,
+    DoctypeToken,
+    EndTag,
+    StartTag,
+    TextToken,
+    tokenize,
+)
+
+
+def kinds(markup):
+    return [type(t).__name__ for t in tokenize(markup)]
+
+
+class TestBasicTokens:
+    def test_start_and_end_tags(self):
+        tokens = tokenize("<p>x</p>")
+        assert tokens == [StartTag("p"), TextToken("x"), EndTag("p")]
+
+    def test_tag_names_lowercased(self):
+        tokens = tokenize("<DIV><A HREF='x'>t</A></DIV>")
+        assert tokens[0] == StartTag("div")
+        assert tokens[1].name == "a"
+        assert tokens[1].attrs == (("href", "x"),)
+
+    def test_attribute_without_value_becomes_empty_string(self):
+        (tag, *_rest) = tokenize("<input disabled>")
+        assert tag.get("disabled") == ""
+        assert tag.get("missing", "d") == "d"
+
+    def test_attribute_quoting_styles(self):
+        for markup in ('<a href="x">', "<a href='x'>", "<a href=x>"):
+            tag = tokenize(markup)[0]
+            assert tag.get("href") == "x"
+
+    def test_self_closing_tag_flagged(self):
+        tag = tokenize("<br/>")[0]
+        assert isinstance(tag, StartTag)
+        assert tag.self_closing
+
+    def test_entities_decoded(self):
+        tokens = tokenize("<p>a &amp; b &lt;c&gt;</p>")
+        assert tokens[1] == TextToken("a & b <c>")
+
+    def test_numeric_entities_decoded(self):
+        tokens = tokenize("<p>&#65;&#x42;</p>")
+        assert tokens[1] == TextToken("AB")
+
+    def test_comment_token(self):
+        tokens = tokenize("<!-- hello -->")
+        assert tokens == [CommentToken(" hello ")]
+
+    def test_doctype_token(self):
+        tokens = tokenize("<!DOCTYPE html><html></html>")
+        assert isinstance(tokens[0], DoctypeToken)
+        assert tokens[0].data == "DOCTYPE html"
+
+
+class TestRobustness:
+    def test_unclosed_tag_at_eof(self):
+        tokens = tokenize("<p>text")
+        assert TextToken("text") in tokens
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+
+    def test_plain_text_only(self):
+        assert tokenize("just text") == [TextToken("just text")]
+
+    def test_stray_angle_bracket_degrades_to_text(self):
+        tokens = tokenize("<p>1 < 2</p>")
+        text = "".join(t.data for t in tokens if isinstance(t, TextToken))
+        assert "1" in text and "2" in text
+
+    def test_script_content_not_tokenized_as_tags(self):
+        tokens = tokenize("<script>if (a<b) { x('<p>'); }</script>")
+        assert not any(
+            isinstance(t, StartTag) and t.name == "p" for t in tokens
+        )
+
+    def test_mixed_case_attributes_lowercased(self):
+        tag = tokenize('<td WIDTH="5" Align="left">')[0]
+        assert tag.get("width") == "5"
+        assert tag.get("align") == "left"
