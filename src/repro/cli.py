@@ -12,6 +12,11 @@ saved wrapper to a page and prints sections/records (or JSON);
 ``check`` reports wrapper health (drift detection); ``eval`` regenerates
 the paper's tables on the synthetic corpus; ``demo`` runs a full
 induce-and-extract round trip against one synthetic engine.
+
+``induce``, ``extract``, ``check`` and ``eval`` accept ``--trace FILE``
+(write a JSONL pipeline trace: one span per stage with wall time and
+stage counters, plus a final metrics record) and ``--stats`` (print the
+human-readable span tree and metrics to stderr after the run).
 """
 
 from __future__ import annotations
@@ -25,17 +30,48 @@ from repro.core.annotate import annotate_record
 from repro.core.mse import build_wrapper
 from repro.core.serialize import load_wrapper, save_wrapper
 from repro.core.verify import check_wrapper
+from repro.obs import NULL_OBSERVER, Observer, render_report
+
+#: page-argument suffixes that may carry an inline query
+_PAGE_EXTENSIONS = (".html:", ".htm:")
 
 
 def _split_page_arg(arg: str) -> Tuple[str, str]:
-    """``path.html:query terms`` -> (path, query); query optional."""
-    path, _, query = arg.partition(":")
-    return path, query
+    """``path.html:query terms`` -> (path, query); query optional.
+
+    Only the suffix after the *last* ``.html:`` (or ``.htm:``) counts as
+    the query, so paths that contain colons themselves (Windows drive
+    letters, ``dir:name`` conventions) parse as plain paths.
+    """
+    lower = arg.lower()
+    for ext in _PAGE_EXTENSIONS:
+        index = lower.rfind(ext)
+        if index != -1:
+            colon = index + len(ext) - 1
+            return arg[:colon], arg[colon + 1 :]
+    return arg, ""
 
 
 def _read(path: str) -> str:
     with open(path, "r", encoding="utf-8") as handle:
         return handle.read()
+
+
+def _observer_for(args):
+    """An enabled observer when the command asked for tracing/stats."""
+    if getattr(args, "trace", None) or getattr(args, "stats", False):
+        return Observer()
+    return NULL_OBSERVER
+
+
+def _finish_obs(args, obs, title: str) -> None:
+    """Persist/print the observer's results per the command's flags."""
+    if not obs.enabled:
+        return
+    if getattr(args, "trace", None):
+        obs.write_jsonl(args.trace)
+    if getattr(args, "stats", False):
+        print(render_report(obs, title), file=sys.stderr)
 
 
 def cmd_induce(args) -> int:
@@ -46,18 +82,22 @@ def cmd_induce(args) -> int:
     if len(samples) < 2:
         print("induce: need at least two sample pages", file=sys.stderr)
         return 2
-    wrapper = build_wrapper(samples)
+    obs = _observer_for(args)
+    wrapper = build_wrapper(samples, obs=obs)
     save_wrapper(wrapper, args.output)
     print(
         f"wrote {args.output}: {len(wrapper.wrappers)} section schema(s), "
         f"{len(wrapper.families)} famil{'y' if len(wrapper.families) == 1 else 'ies'}"
     )
+    _finish_obs(args, obs, "induce trace")
     return 0
 
 
 def cmd_extract(args) -> int:
     wrapper = load_wrapper(args.wrapper)
-    extraction = wrapper.extract(_read(args.page), args.query)
+    obs = _observer_for(args)
+    extraction = wrapper.extract(_read(args.page), args.query, obs=obs)
+    _finish_obs(args, obs, "extract trace")
     if args.json:
         payload = [
             {
@@ -84,13 +124,23 @@ def cmd_extract(args) -> int:
 
 def cmd_check(args) -> int:
     wrapper = load_wrapper(args.wrapper)
-    health = check_wrapper(wrapper, _read(args.page), args.query)
+    obs = _observer_for(args)
+    health = check_wrapper(wrapper, _read(args.page), args.query, obs=obs)
     print(f"health score: {health.score:.2f} "
           f"({'DRIFTED - re-induce' if health.drifted else 'ok'})")
     for section in health.sections:
         status = "ok" if section.healthy else ("absent" if not section.found else "suspect")
         print(f"  {section.schema_id}: {status} "
               f"(records={section.record_count}, typical={section.typical_records})")
+        checks = " ".join(
+            f"{name}={'pass' if passed else 'FAIL'}"
+            for name, passed in section.checks.items()
+        )
+        print(f"    checks: {checks} (homogeneity={section.homogeneity:.3f})")
+    if getattr(args, "stats", False):
+        print("metrics: " + json.dumps(health.metrics, sort_keys=True),
+              file=sys.stderr)
+    _finish_obs(args, obs, "check trace")
     return 1 if health.drifted else 0
 
 
@@ -102,6 +152,10 @@ def cmd_eval(args) -> int:
         argv += ["--limit", str(args.limit)]
     if args.progress:
         argv.append("--progress")
+    if args.trace:
+        argv += ["--trace", args.trace]
+    if args.stats:
+        argv.append("--stats")
     return harness_main(argv)
 
 
@@ -114,7 +168,8 @@ def cmd_demo(args) -> int:
           f"template {engine.template.name}")
     wrapper = build_wrapper(engine_pages.sample_set)
     print(f"induced {len(wrapper.wrappers)} schema(s), "
-          f"{len(wrapper.families)} family(ies) from 5 sample pages")
+          f"{len(wrapper.families)} family(ies) from "
+          f"{len(engine_pages.sample_set)} sample pages")
     markup, query = engine_pages.test_set[0]
     extraction = wrapper.extract(markup, query)
     print(f"\nextraction for held-out query {query!r}:")
@@ -125,6 +180,20 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL pipeline trace (spans + metrics) to FILE",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the span tree and metrics to stderr after the run",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -132,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_induce = sub.add_parser("induce", help="build a wrapper from sample pages")
     p_induce.add_argument("pages", nargs="+", help="page.html[:query terms]")
     p_induce.add_argument("-o", "--output", required=True, help="wrapper JSON path")
+    _add_obs_flags(p_induce)
     p_induce.set_defaults(func=cmd_induce)
 
     p_extract = sub.add_parser("extract", help="apply a wrapper to a page")
@@ -139,18 +209,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_extract.add_argument("-w", "--wrapper", required=True)
     p_extract.add_argument("--query", default="", help="query that produced the page")
     p_extract.add_argument("--json", action="store_true", help="JSON output")
+    _add_obs_flags(p_extract)
     p_extract.set_defaults(func=cmd_extract)
 
     p_check = sub.add_parser("check", help="wrapper health / drift detection")
     p_check.add_argument("page", help="result page HTML file")
     p_check.add_argument("-w", "--wrapper", required=True)
     p_check.add_argument("--query", default="")
+    _add_obs_flags(p_check)
     p_check.set_defaults(func=cmd_check)
 
     p_eval = sub.add_parser("eval", help="regenerate the paper's tables")
     p_eval.add_argument("--table", choices=["1", "2", "3", "all"], default="all")
     p_eval.add_argument("--limit", type=int, default=None)
     p_eval.add_argument("--progress", action="store_true")
+    _add_obs_flags(p_eval)
     p_eval.set_defaults(func=cmd_eval)
 
     p_demo = sub.add_parser("demo", help="induce+extract on a synthetic engine")

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.mre import TentativeMR
 from repro.features.blocks import Block
+from repro.obs import NULL_OBSERVER
 from repro.render.lines import ContentLine, RenderedPage
 from repro.render.linetypes import LineType
 
@@ -267,22 +268,28 @@ def run_dse(
     pages: Sequence[RenderedPage],
     queries: Sequence[str],
     mrs_per_page: Sequence[Sequence[TentativeMR]],
+    obs=NULL_OBSERVER,
 ) -> Tuple[List[Set[int]], List[List[DynamicSection]]]:
     """The full DSE stage over all sample pages.
 
     ``queries[i]`` is the query string that produced ``pages[i]`` (its
     whitespace-split terms are removed during cleaning).  Returns the
-    final CSBM sets and the DS lists, one per page.
+    final CSBM sets and the DS lists, one per page.  ``obs`` is an
+    optional :class:`repro.obs.Observer` for stage counters.
     """
     if len(pages) != len(queries):
         raise ValueError("pages and queries must align")
     for page, query in zip(pages, queries):
         clean_page_lines(page, query.split())
+    obs.count("dse.lines_cleaned", sum(len(page.lines) for page in pages))
 
     marks = mark_csbms_multi(pages)
+    obs.count("dse.csbms_tentative", sum(len(csbms) for csbms in marks))
     filtered = [
         filter_csbms(page, csbms, list(mrs))
         for page, csbms, mrs in zip(pages, marks, mrs_per_page)
     ]
+    obs.count("dse.csbms", sum(len(csbms) for csbms in filtered))
     sections = [identify_dss(page, csbms) for page, csbms in zip(pages, filtered)]
+    obs.count("dse.sections", sum(len(dss) for dss in sections))
     return filtered, sections

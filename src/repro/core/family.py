@@ -33,6 +33,7 @@ from repro.core.wrapper import (
 )
 from repro.features.blocks import Block
 from repro.htmlmod.dom import Element
+from repro.obs import NULL_OBSERVER
 from repro.render.lines import RenderedPage
 from repro.render.styles import TextAttr
 from repro.tagpath.paths import MergedTagPath
@@ -235,6 +236,7 @@ def _flexible_key(pref: MergedTagPath, subtree: Element) -> Tuple[int, ...]:
 
 def build_families(
     wrappers: Sequence[SectionWrapper],
+    obs=NULL_OBSERVER,
 ) -> Tuple[List[SectionFamily], List[SectionWrapper]]:
     """Fold wrappers into Type 1 / Type 2 families where possible (§5.8).
 
@@ -248,6 +250,12 @@ def build_families(
     families.extend(families_t1)
     families_t2, remaining = _build_type2(remaining)
     families.extend(families_t2)
+    obs.count("families.type1", len(families_t1))
+    obs.count("families.type2", len(families_t2))
+    obs.count(
+        "families.member_wrappers",
+        sum(len(family.member_ids) for family in families),
+    )
     return families, remaining
 
 

@@ -32,6 +32,7 @@ from repro.features.blocks import Block
 from repro.features.cohesion import inter_record_distance, section_cohesion
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.features.record_distance import RecordDistanceCache
+from repro.obs import NULL_OBSERVER
 from repro.render.lines import RenderedPage
 
 
@@ -70,6 +71,7 @@ def _fix_oversized(
     section: SectionInstance,
     config: FeatureConfig,
     cache: RecordDistanceCache,
+    obs=NULL_OBSERVER,
 ) -> List[SectionInstance]:
     """Oversized-record handling; may split one section into several."""
     records = section.records
@@ -79,12 +81,13 @@ def _fix_oversized(
     largest = max(records, key=len)
     if len(largest) <= 1:
         return [section]
-    if len(mine_records(largest, config, cache)) <= 1:
+    if len(mine_records(largest, config, cache, obs=obs)) <= 1:
         return [section]  # the big record does not decompose: fine as is
 
     # Every record decomposes (or not); gather the pieces.
     pieces_per_record = [
-        mine_records(r, config, cache) if len(r) > 1 else [r] for r in records
+        mine_records(r, config, cache, obs=obs) if len(r) > 1 else [r]
+        for r in records
     ]
 
     # Decide sections-vs-merged-records on the consecutive pairs where
@@ -97,6 +100,7 @@ def _fix_oversized(
                 break
 
     if looks_like_sections:
+        obs.count("granularity.sections_split")
         out = []
         for record, pieces in zip(records, pieces_per_record):
             out.append(
@@ -121,6 +125,7 @@ def _fix_oversized(
     ):
         section.records = flattened
         section.origin = section.origin + "+remined"
+        obs.count("granularity.records_remined")
     return [section]
 
 
@@ -128,6 +133,7 @@ def _fix_split_records(
     section: SectionInstance,
     config: FeatureConfig,
     cache: RecordDistanceCache,
+    obs=NULL_OBSERVER,
 ) -> None:
     """Try coarser partitions (combine k consecutive records) in place."""
     records = section.records
@@ -156,12 +162,14 @@ def _fix_split_records(
     if best is not records:
         section.records = best
         section.origin = section.origin + "+combined"
+        obs.count("granularity.records_recombined")
 
 
 def _merge_sibling_singletons(
     sections: List[SectionInstance],
     config: FeatureConfig,
     cache: RecordDistanceCache,
+    obs=NULL_OBSERVER,
 ) -> List[SectionInstance]:
     """Consecutive sibling one-record sections -> one section (§5.5 end)."""
     out: List[SectionInstance] = []
@@ -174,6 +182,7 @@ def _merge_sibling_singletons(
                 break
             run.append(nxt)
         if len(run) >= 2:
+            obs.count("granularity.singletons_merged", len(run))
             page = run[0].page
             merged = SectionInstance(
                 page=page,
@@ -224,6 +233,7 @@ def resolve_granularity(
     sections: Sequence[SectionInstance],
     config: FeatureConfig = DEFAULT_CONFIG,
     cache: Optional[RecordDistanceCache] = None,
+    obs=NULL_OBSERVER,
 ) -> List[SectionInstance]:
     """Run the full §5.5 pass over one page's sections (in page order)."""
     if cache is None:
@@ -231,9 +241,9 @@ def resolve_granularity(
 
     expanded: List[SectionInstance] = []
     for section in sections:
-        expanded.extend(_fix_oversized(section, config, cache))
+        expanded.extend(_fix_oversized(section, config, cache, obs=obs))
     for section in expanded:
-        _fix_split_records(section, config, cache)
-    merged = _merge_sibling_singletons(expanded, config, cache)
+        _fix_split_records(section, config, cache, obs=obs)
+    merged = _merge_sibling_singletons(expanded, config, cache, obs=obs)
     merged.sort(key=lambda s: s.start)
     return merged

@@ -19,6 +19,7 @@ from repro.algorithms.stable_marriage import stable_match
 from repro.algorithms.tree_edit import forest_distance
 from repro.core.model import SectionInstance
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
+from repro.obs import NULL_OBSERVER
 from repro.tagpath.paths import TagPath
 
 #: Minimum matching score for two instances to be considered the same
@@ -112,6 +113,7 @@ class InstanceGroup:
 def group_section_instances(
     sections_per_page: Sequence[Sequence[SectionInstance]],
     threshold: float = MATCH_THRESHOLD,
+    obs=NULL_OBSERVER,
 ) -> List[InstanceGroup]:
     """Cluster section instances into schema groups (§5.6).
 
@@ -136,7 +138,10 @@ def group_section_instances(
             for row, col in stable_match(scores, threshold=threshold):
                 edges.append(((i, row), (j, col)))
 
+    obs.count("grouping.instances", len(vertices))
+    obs.count("grouping.edges", len(edges))
     cliques = section_instance_groups(vertices, edges, min_size=2)
+    obs.count("grouping.cliques", len(cliques))
     merged = _merge_overlapping_cliques(cliques)
 
     groups: List[InstanceGroup] = []
@@ -164,6 +169,7 @@ def group_section_instances(
     groups.sort(
         key=lambda g: min(instance.start for instance in g.instances)
     )
+    obs.count("grouping.groups", len(groups))
     return groups
 
 

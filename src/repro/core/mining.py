@@ -21,6 +21,7 @@ from repro.features.cohesion import best_partition
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.features.record_distance import RecordDistanceCache
 from repro.htmlmod.dom import Element
+from repro.obs import NULL_OBSERVER
 from repro.render.linetypes import LineType
 
 #: Line types that can plausibly open a record (shared with MRE).
@@ -129,6 +130,7 @@ def mine_records(
     block: Block,
     config: FeatureConfig = DEFAULT_CONFIG,
     cache: Optional[RecordDistanceCache] = None,
+    obs=NULL_OBSERVER,
 ) -> List[Block]:
     """Partition a DS block into records (§5.4).
 
@@ -142,8 +144,11 @@ def mine_records(
     if cache is None:
         cache = RecordDistanceCache(config)
     candidates = candidate_partitions(block, config)
+    obs.count("mine.calls")
+    obs.count("mine.candidate_partitions", len(candidates))
     evidenced = [p for p in candidates if len(p) >= 2 and _has_start_evidence(p)]
     if evidenced:
+        obs.count("mine.evidenced")
         return best_partition(evidenced, config, cache)
     return best_partition(candidates, config, cache)
 

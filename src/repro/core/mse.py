@@ -7,12 +7,20 @@ dynamic sections and their records from any result page of that engine.
     >>> from repro import build_wrapper
     >>> wrapper = build_wrapper([(html1, "query one"), (html2, "query two")])
     >>> extraction = wrapper.extract(new_html, "another query")
+
+The pipeline runs as explicit *stages*, each wrapped in an observability
+span (``render``, ``mre``, ``dse``, ``refine``, ``mine``,
+``granularity``, ``grouping``, ``wrapper``, ``families`` — see
+``repro.obs``).  Pass an :class:`repro.obs.Observer` to attribute wall
+time and stage counters; the default :data:`~repro.obs.NULL_OBSERVER`
+makes every probe a no-op.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.dse import DynamicSection, run_dse
 from repro.core.family import SectionFamily, build_families
@@ -27,6 +35,7 @@ from repro.features.blocks import Block
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.features.record_distance import RecordDistanceCache
 from repro.htmlmod.parser import parse_html
+from repro.obs import NULL_OBSERVER
 from repro.render.layout import render_page
 from repro.render.lines import RenderedPage
 
@@ -61,11 +70,21 @@ class _PreparedPage:
     query: str
 
 
+def _cache_totals(caches: Sequence[RecordDistanceCache]) -> Tuple[int, int]:
+    return (
+        sum(cache.hits for cache in caches),
+        sum(cache.misses for cache in caches),
+    )
+
+
 class MSE:
     """Multiple Section Extraction: builds wrappers from sample pages."""
 
-    def __init__(self, config: Optional[MSEConfig] = None) -> None:
+    def __init__(
+        self, config: Optional[MSEConfig] = None, obs=NULL_OBSERVER
+    ) -> None:
         self.config = config or MSEConfig()
+        self.obs = obs if obs is not None else NULL_OBSERVER
 
     # -- public API -----------------------------------------------------
     def build_wrapper(self, samples: Sequence[SampleInput]) -> EngineWrapper:
@@ -75,102 +94,215 @@ class MSE:
         at least two samples are required (section instances must be
         certified by a match on another page, §5.6).
         """
-        prepared = self._prepare(samples)
+        obs = self.obs
+        with obs.span("render"):
+            prepared = self._prepare(samples)
+            obs.count("render.pages", len(prepared))
+            obs.count(
+                "render.lines", sum(len(item.page.lines) for item in prepared)
+            )
         if len(prepared) < 2:
             raise ValueError("MSE needs at least two sample pages")
 
         sections_per_page = self.analyze_pages(prepared)
-        groups = group_section_instances(
-            sections_per_page, threshold=self.config.match_threshold
-        )
 
-        wrappers: List[SectionWrapper] = []
-        for index, group in enumerate(groups):
-            wrapper = build_section_wrapper(
-                group, schema_id=f"S{index}", config=self.config.features
+        with obs.span("grouping"):
+            groups = group_section_instances(
+                sections_per_page, threshold=self.config.match_threshold, obs=obs
             )
-            if wrapper is not None:
-                wrappers.append(wrapper)
+
+        with obs.span("wrapper"):
+            wrappers: List[SectionWrapper] = []
+            for index, group in enumerate(groups):
+                wrapper = build_section_wrapper(
+                    group, schema_id=f"S{index}", config=self.config.features, obs=obs
+                )
+                if wrapper is not None:
+                    wrappers.append(wrapper)
+            obs.count("wrapper.schemas", len(wrappers))
 
         families: List[SectionFamily] = []
-        if self.config.use_families:
-            families, _leftover = build_families(wrappers)
-            # All wrappers stay available: at extraction time a member
-            # wrapper runs only when its family did not locate it.
+        with obs.span("families"):
+            if self.config.use_families:
+                families, _leftover = build_families(wrappers, obs=obs)
+                # All wrappers stay available: at extraction time a member
+                # wrapper runs only when its family did not locate it.
+            obs.count("families.built", len(families))
         return EngineWrapper(wrappers, families, self.config.features)
 
     # -- pipeline pieces (public for tests/ablations) ----------------------
     def analyze_pages(
         self, prepared: Sequence[_PreparedPage]
     ) -> List[List[SectionInstance]]:
-        """Steps 2-6 for every sample page: MRE, DSE, refine, mine, check."""
+        """Steps 2-6 for every sample page: MRE, DSE, refine, mine, check.
+
+        Runs stage-by-stage over all pages (rather than page-by-page over
+        all stages) so each stage owns exactly one span and its counters.
+        """
         config = self.config.features
+        obs = self.obs
         pages = [item.page for item in prepared]
         queries = [item.query for item in prepared]
-
         caches = [RecordDistanceCache(config) for _ in pages]
-        mrs_per_page: List[List[TentativeMR]] = [
-            extract_mrs(page, config, cache) for page, cache in zip(pages, caches)
-        ]
-        csbms_per_page, dss_per_page = run_dse(pages, queries, mrs_per_page)
 
-        sections_per_page: List[List[SectionInstance]] = []
-        for page, mrs, dss, csbms, cache in zip(
+        with self._stage("mre", caches):
+            mrs_per_page: List[List[TentativeMR]] = [
+                extract_mrs(page, config, cache)
+                for page, cache in zip(pages, caches)
+            ]
+            obs.count("mre.sections", sum(len(mrs) for mrs in mrs_per_page))
+            obs.count(
+                "mre.records",
+                sum(len(mr.records) for mrs in mrs_per_page for mr in mrs),
+            )
+
+        with self._stage("dse", caches):
+            csbms_per_page, dss_per_page = run_dse(
+                pages, queries, mrs_per_page, obs=obs
+            )
+
+        refined, pending_per_page = self._refine_stage(
             pages, mrs_per_page, dss_per_page, csbms_per_page, caches
-        ):
-            sections = self._page_sections(page, mrs, dss, csbms, cache)
-            sections_per_page.append(sections)
+        )
+        sections_per_page = self._mine_stage(
+            pages, refined, pending_per_page, caches
+        )
+        sections_per_page = self._granularity_stage(sections_per_page, caches)
+
+        hits, misses = _cache_totals(caches)
+        obs.gauge("record_distance_cache.hits", hits)
+        obs.gauge("record_distance_cache.misses", misses)
+        obs.gauge(
+            "record_distance_cache.hit_rate",
+            hits / (hits + misses) if hits + misses else 0.0,
+        )
         return sections_per_page
 
-    def _page_sections(
+    @contextmanager
+    def _stage(
+        self, name: str, caches: Sequence[RecordDistanceCache]
+    ) -> Iterator[None]:
+        """A pipeline-stage span that also books the stage's share of the
+        record-distance cache traffic as ``cache.hits`` / ``cache.misses``
+        counters."""
+        obs = self.obs
+        with obs.span(name):
+            hits_before, misses_before = _cache_totals(caches)
+            try:
+                yield
+            finally:
+                hits_after, misses_after = _cache_totals(caches)
+                if hits_after > hits_before:
+                    obs.count("cache.hits", hits_after - hits_before)
+                if misses_after > misses_before:
+                    obs.count("cache.misses", misses_after - misses_before)
+
+    def _refine_stage(
         self,
-        page: RenderedPage,
-        mrs: List[TentativeMR],
-        dss: List[DynamicSection],
-        csbms,
-        cache: RecordDistanceCache,
-    ) -> List[SectionInstance]:
+        pages: Sequence[RenderedPage],
+        mrs_per_page: Sequence[List[TentativeMR]],
+        dss_per_page: Sequence[List[DynamicSection]],
+        csbms_per_page: Sequence,
+        caches: Sequence[RecordDistanceCache],
+    ) -> Tuple[List[List[SectionInstance]], List[List[DynamicSection]]]:
+        """§5.3 refinement (or the ablation bypass) for every page."""
         config = self.config.features
+        obs = self.obs
+        refined: List[List[SectionInstance]] = []
+        pending_per_page: List[List[DynamicSection]] = []
 
-        if self.config.use_refinement:
-            result = refine_page(page, mrs, dss, csbms, config, cache)
-            sections = list(result.sections)
-            pending = result.pending
-        else:
-            # Ablation: trust raw MRs, mine every DS that has no MR.
-            sections = [
-                SectionInstance(
-                    page=page,
-                    block=mr.block(),
-                    records=list(mr.records),
-                    origin="mre-raw",
-                )
-                for mr in mrs
-            ]
-            pending = [
-                ds
-                for ds in dss
-                if not any(mr.start <= ds.end and ds.start <= mr.end for mr in mrs)
-            ]
-
-        for ds in pending:
-            block = ds.block()
-            records = self._mine(block, cache)
-            sections.append(
-                SectionInstance(
-                    page=page,
-                    block=block,
-                    records=records,
-                    lbm=ds.lbm,
-                    rbm=ds.rbm,
-                    origin="mined",
-                )
+        with self._stage("refine", caches):
+            for page, mrs, dss, csbms, cache in zip(
+                pages, mrs_per_page, dss_per_page, csbms_per_page, caches
+            ):
+                if self.config.use_refinement:
+                    result = refine_page(page, mrs, dss, csbms, config, cache, obs=obs)
+                    sections = list(result.sections)
+                    pending = result.pending
+                else:
+                    # Ablation: trust raw MRs, mine every DS that has no MR.
+                    sections = [
+                        SectionInstance(
+                            page=page,
+                            block=mr.block(),
+                            records=list(mr.records),
+                            origin="mre-raw",
+                        )
+                        for mr in mrs
+                    ]
+                    pending = [
+                        ds
+                        for ds in dss
+                        if not any(
+                            mr.start <= ds.end and ds.start <= mr.end for mr in mrs
+                        )
+                    ]
+                refined.append(sections)
+                pending_per_page.append(pending)
+            obs.count(
+                "refine.sections", sum(len(sections) for sections in refined)
             )
-        sections.sort(key=lambda s: s.start)
+            obs.count(
+                "refine.pending",
+                sum(len(pending) for pending in pending_per_page),
+            )
+        return refined, pending_per_page
 
-        if self.config.use_granularity:
-            sections = resolve_granularity(sections, config, cache)
-        return sections
+    def _mine_stage(
+        self,
+        pages: Sequence[RenderedPage],
+        refined: Sequence[List[SectionInstance]],
+        pending_per_page: Sequence[List[DynamicSection]],
+        caches: Sequence[RecordDistanceCache],
+    ) -> List[List[SectionInstance]]:
+        """§5.4 record mining of every pending DS, per page."""
+        obs = self.obs
+        sections_per_page: List[List[SectionInstance]] = []
+
+        with self._stage("mine", caches):
+            mined_records = 0
+            for page, sections, pending, cache in zip(
+                pages, refined, pending_per_page, caches
+            ):
+                sections = list(sections)
+                for ds in pending:
+                    block = ds.block()
+                    records = self._mine(block, cache)
+                    mined_records += len(records)
+                    sections.append(
+                        SectionInstance(
+                            page=page,
+                            block=block,
+                            records=records,
+                            lbm=ds.lbm,
+                            rbm=ds.rbm,
+                            origin="mined",
+                        )
+                    )
+                sections.sort(key=lambda s: s.start)
+                sections_per_page.append(sections)
+            obs.count("mine.records", mined_records)
+        return sections_per_page
+
+    def _granularity_stage(
+        self,
+        sections_per_page: List[List[SectionInstance]],
+        caches: Sequence[RecordDistanceCache],
+    ) -> List[List[SectionInstance]]:
+        """§5.5 granularity resolution, per page (no-op when disabled)."""
+        config = self.config.features
+        obs = self.obs
+        with self._stage("granularity", caches):
+            if self.config.use_granularity:
+                sections_per_page = [
+                    resolve_granularity(sections, config, cache, obs=obs)
+                    for sections, cache in zip(sections_per_page, caches)
+                ]
+            obs.count(
+                "granularity.sections",
+                sum(len(sections) for sections in sections_per_page),
+            )
+        return sections_per_page
 
     def _mine(self, block: Block, cache: RecordDistanceCache) -> List[Block]:
         if self.config.mining_strategy == "per-child":
@@ -179,7 +311,7 @@ class MSE:
             candidates = candidate_partitions(block, self.config.features)
             # plain heuristic: the finest tag partition, no cohesion scoring
             return max(candidates, key=len)
-        return mine_records(block, self.config.features, cache)
+        return mine_records(block, self.config.features, cache, obs=self.obs)
 
     # -- helpers ------------------------------------------------------------
     @staticmethod
@@ -196,7 +328,9 @@ class MSE:
 
 
 def build_wrapper(
-    samples: Sequence[SampleInput], config: Optional[MSEConfig] = None
+    samples: Sequence[SampleInput],
+    config: Optional[MSEConfig] = None,
+    obs=NULL_OBSERVER,
 ) -> EngineWrapper:
     """Convenience one-shot wrapper induction (see :class:`MSE`)."""
-    return MSE(config).build_wrapper(samples)
+    return MSE(config, obs=obs).build_wrapper(samples)

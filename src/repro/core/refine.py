@@ -34,6 +34,7 @@ from repro.features.blocks import Block
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.features.cohesion import inter_record_distance
 from repro.features.record_distance import RecordDistanceCache
+from repro.obs import NULL_OBSERVER
 from repro.render.lines import RenderedPage
 
 
@@ -150,6 +151,26 @@ class RefineResult:
     pending: List[DynamicSection]
 
 
+def _overlap_case(
+    mr: TentativeMR, ds: DynamicSection, dss: Sequence[DynamicSection]
+) -> str:
+    """Classify one MR/DS interaction into the §5.3 case taxonomy.
+
+    Used only for observability counters (``refine.case*``); the actual
+    repair logic below handles all cases uniformly.
+    """
+    if mr.start == ds.start and mr.end == ds.end:
+        return "case1_exact"
+    spanned = sum(
+        1 for other in dss if mr.start <= other.end and other.start <= mr.end
+    )
+    if spanned > 1:
+        return "case2_mr_spans_dss"
+    if ds.start <= mr.start and mr.end <= ds.end:
+        return "case3_ds_contains_mr"
+    return "case4_partial"
+
+
 def refine_page(
     page: RenderedPage,
     mrs: Sequence[TentativeMR],
@@ -157,10 +178,18 @@ def refine_page(
     csbms: Set[int],
     config: FeatureConfig = DEFAULT_CONFIG,
     cache: Optional[RecordDistanceCache] = None,
+    obs=NULL_OBSERVER,
 ) -> RefineResult:
     """Run the §5.3 refinement over one page's MRs and DSs."""
     if cache is None:
         cache = RecordDistanceCache(config)
+
+    if obs.enabled:
+        # Case 5's static half: MRs that overlap no DS are repeated
+        # template content and never enter the loop below.
+        for mr in mrs:
+            if not any(mr.start <= ds.end and ds.start <= mr.end for ds in dss):
+                obs.count("refine.case5_static_mr")
 
     sections: List[SectionInstance] = []
     pending: List[DynamicSection] = []
@@ -174,7 +203,11 @@ def refine_page(
         ]
         if not overlapping:
             pending.append(ds)  # case 5: dynamic for sure, mine later
+            obs.count("refine.case5_unmatched_ds")
             continue
+        if obs.enabled:
+            for mr in overlapping:
+                obs.count(f"refine.{_overlap_case(mr, ds, dss)}")
 
         overlapping.sort(key=lambda mr: mr.start)
         cursor = ds.start  # first unassigned DS line

@@ -32,6 +32,7 @@ from repro.features.config import DEFAULT_CONFIG
 from repro.features.record_distance import RecordDistanceCache
 from repro.htmlmod.dom import Document
 from repro.htmlmod.parser import parse_html
+from repro.obs import NULL_OBSERVER
 from repro.render.layout import render_page
 
 #: mean Drec above which a section's records no longer cohere
@@ -53,16 +54,39 @@ class SectionHealth:
     marker_hit: bool = False
 
     @property
+    def count_plausible(self) -> bool:
+        """Record count within the acceptable band of the typical count."""
+        if not self.typical_records:
+            return True
+        ratio = self.record_count / self.typical_records
+        return COUNT_BAND[0] <= ratio <= COUNT_BAND[1]
+
+    @property
+    def homogeneous(self) -> bool:
+        """Records still cohere (mean Drec under the drift limit)."""
+        return self.homogeneity <= HOMOGENEITY_LIMIT
+
+    @property
+    def checks(self) -> Dict[str, bool]:
+        """Per-check breakdown: which individual checks passed.
+
+        The keys mirror the module docstring's check list; health reports
+        embed this dict so a drifted wrapper shows *which* check failed.
+        """
+        return {
+            "found": self.found,
+            "homogeneous": self.homogeneous,
+            "count_plausible": self.count_plausible,
+            "marker_hit": self.marker_hit,
+        }
+
+    @property
     def healthy(self) -> bool:
         if not self.found:
             return False
-        if self.homogeneity > HOMOGENEITY_LIMIT:
+        if not self.homogeneous:
             return False
-        if self.typical_records:
-            ratio = self.record_count / self.typical_records
-            if not (COUNT_BAND[0] <= ratio <= COUNT_BAND[1]):
-                return False
-        return True
+        return self.count_plausible
 
 
 @dataclass(frozen=True)
@@ -77,9 +101,43 @@ class WrapperHealth:
         """True when re-induction is advisable."""
         return self.score < 0.5
 
+    @property
+    def metrics(self) -> Dict[str, float]:
+        """Machine-readable per-check metric breakdown for this page.
+
+        The fractions aggregate the per-section :attr:`SectionHealth.checks`
+        over all schemas, so a trajectory of these dicts attributes a
+        health regression to the check that started failing.
+        """
+        n = len(self.sections)
+        if n == 0:
+            return {
+                "score": self.score,
+                "sections": 0,
+                "found_rate": 0.0,
+                "healthy_rate": 0.0,
+                "homogeneous_rate": 0.0,
+                "count_plausible_rate": 0.0,
+                "marker_hit_rate": 0.0,
+                "mean_homogeneity": 0.0,
+            }
+        found = [s for s in self.sections if s.found]
+        return {
+            "score": self.score,
+            "sections": n,
+            "found_rate": len(found) / n,
+            "healthy_rate": sum(s.healthy for s in self.sections) / n,
+            "homogeneous_rate": sum(s.homogeneous for s in self.sections) / n,
+            "count_plausible_rate": sum(s.count_plausible for s in self.sections) / n,
+            "marker_hit_rate": sum(s.marker_hit for s in self.sections) / n,
+            "mean_homogeneity": (
+                sum(s.homogeneity for s in found) / len(found) if found else 0.0
+            ),
+        }
+
 
 def check_wrapper(
-    engine: EngineWrapper, markup_or_document, query: str = ""
+    engine: EngineWrapper, markup_or_document, query: str = "", obs=NULL_OBSERVER
 ) -> WrapperHealth:
     """Assess wrapper health against one result page.
 
@@ -87,47 +145,59 @@ def check_wrapper(
     mildly; structural mismatches (found-but-incoherent sections, wild
     record counts) lower it hard.
     """
-    if isinstance(markup_or_document, Document):
-        document = markup_or_document
-    else:
-        document = parse_html(markup_or_document)
-    page = render_page(document)
-    clean_page_lines(page, query.split())
+    with obs.span("check"):
+        if isinstance(markup_or_document, Document):
+            document = markup_or_document
+        else:
+            document = parse_html(markup_or_document)
+        page = render_page(document)
+        clean_page_lines(page, query.split())
 
-    cache = RecordDistanceCache(DEFAULT_CONFIG)
-    outcomes: List[SectionHealth] = []
-    for wrapper in engine.wrappers:
-        instance = apply_section_wrapper(wrapper, page)
-        if instance is None:
+        cache = RecordDistanceCache(DEFAULT_CONFIG)
+        outcomes: List[SectionHealth] = []
+        for wrapper in engine.wrappers:
+            instance = apply_section_wrapper(wrapper, page)
+            if instance is None:
+                outcomes.append(
+                    SectionHealth(schema_id=wrapper.schema_id, found=False)
+                )
+                continue
+            homogeneity = inter_record_distance(
+                instance.records, DEFAULT_CONFIG, cache
+            )
             outcomes.append(
-                SectionHealth(schema_id=wrapper.schema_id, found=False)
+                SectionHealth(
+                    schema_id=wrapper.schema_id,
+                    found=True,
+                    record_count=len(instance.records),
+                    typical_records=wrapper.typical_records,
+                    homogeneity=homogeneity,
+                    marker_hit=instance.score >= 1.0,
+                )
             )
-            continue
-        homogeneity = inter_record_distance(
-            instance.records, DEFAULT_CONFIG, cache
-        )
-        outcomes.append(
-            SectionHealth(
-                schema_id=wrapper.schema_id,
-                found=True,
-                record_count=len(instance.records),
-                typical_records=wrapper.typical_records,
-                homogeneity=homogeneity,
-                marker_hit=instance.score >= 1.0,
-            )
-        )
 
-    if not outcomes:
-        return WrapperHealth(sections=(), score=0.0)
+        obs.count("check.cache.hits", cache.hits)
+        obs.count("check.cache.misses", cache.misses)
+        if not outcomes:
+            obs.count("check.pages_drifted")
+            return WrapperHealth(sections=(), score=0.0)
 
-    score = 0.0
-    for health in outcomes:
-        if health.healthy:
-            score += 1.0
-        elif not health.found:
-            score += 0.4  # absence can be legitimate (query dependence)
-    score /= len(outcomes)
-    return WrapperHealth(sections=tuple(outcomes), score=score)
+        score = 0.0
+        for health in outcomes:
+            obs.count("check.sections")
+            if health.healthy:
+                score += 1.0
+                obs.count("check.sections_healthy")
+            elif not health.found:
+                score += 0.4  # absence can be legitimate (query dependence)
+                obs.count("check.sections_absent")
+            else:
+                obs.count("check.sections_suspect")
+        score /= len(outcomes)
+        health = WrapperHealth(sections=tuple(outcomes), score=score)
+        if health.drifted:
+            obs.count("check.pages_drifted")
+        return health
 
 
 def check_wrapper_on_pages(

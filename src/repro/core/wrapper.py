@@ -35,6 +35,7 @@ from repro.features.blocks import Block
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.htmlmod.dom import Document, Element
 from repro.htmlmod.parser import parse_html
+from repro.obs import NULL_OBSERVER
 from repro.render.layout import render_page
 from repro.render.lines import RenderedPage
 from repro.render.styles import TextAttr
@@ -111,7 +112,10 @@ def _marker_features(
 
 
 def build_section_wrapper(
-    group: InstanceGroup, schema_id: str, config: FeatureConfig = DEFAULT_CONFIG
+    group: InstanceGroup,
+    schema_id: str,
+    config: FeatureConfig = DEFAULT_CONFIG,
+    obs=NULL_OBSERVER,
 ) -> Optional[SectionWrapper]:
     """Build a wrapper from one section instance group (§5.7).
 
@@ -127,6 +131,7 @@ def build_section_wrapper(
         paths.append(TagPath.to_node(subtree))
         instances.append(instance)
     if not paths:
+        obs.count("wrapper.no_pref")
         return None
 
     # Merge the largest compatible subset of paths.
@@ -135,6 +140,7 @@ def build_section_wrapper(
         buckets.setdefault(path.c_tags, []).append(index)
     best_indexes = max(buckets.values(), key=len)
     if len(best_indexes) < 2:
+        obs.count("wrapper.no_pref")
         return None
     merged = MergedTagPath.merge([paths[i] for i in best_indexes])
     kept = [instances[i] for i in best_indexes]
@@ -361,37 +367,52 @@ class EngineWrapper:
         )
 
     # -- application ------------------------------------------------------
-    def extract(self, markup_or_document, query: str = "") -> PageExtraction:
+    def extract(
+        self, markup_or_document, query: str = "", obs=NULL_OBSERVER
+    ) -> PageExtraction:
         """Extract all dynamic sections and their records from a page.
 
         ``markup_or_document`` may be an HTML string or a parsed
         :class:`Document`; ``query`` is the query string that produced the
-        page (used to clean semi-dynamic boundary markers).
+        page (used to clean semi-dynamic boundary markers).  ``obs`` is an
+        optional :class:`repro.obs.Observer`: extraction runs under the
+        spans ``render``, ``families`` and ``wrappers``.
         """
-        if isinstance(markup_or_document, Document):
-            document = markup_or_document
-        else:
-            document = parse_html(markup_or_document)
-        page = render_page(document)
-        clean_page_lines(page, query.split())
+        with obs.span("render"):
+            if isinstance(markup_or_document, Document):
+                document = markup_or_document
+            else:
+                document = parse_html(markup_or_document)
+            page = render_page(document)
+            clean_page_lines(page, query.split())
+            obs.count("render.lines", len(page.lines))
 
         instances: List[Tuple[str, SectionInstance]] = []
 
-        found_by_family: Set[str] = set()
-        for family in self.families:
-            for schema_id, instance in family.apply(page):
-                instances.append((schema_id, instance))
-                found_by_family.add(schema_id)
+        with obs.span("families"):
+            found_by_family: Set[str] = set()
+            for family in self.families:
+                for schema_id, instance in family.apply(page):
+                    instances.append((schema_id, instance))
+                    found_by_family.add(schema_id)
+            obs.count("extract.family_sections", len(instances))
 
-        for wrapper in self.wrappers:
-            if wrapper.schema_id in found_by_family:
-                continue  # the family already located this schema
-            found = apply_section_wrapper(wrapper, page)
-            if found is not None:
-                instances.append((wrapper.schema_id, found))
+        with obs.span("wrappers"):
+            for wrapper in self.wrappers:
+                if wrapper.schema_id in found_by_family:
+                    continue  # the family already located this schema
+                found = apply_section_wrapper(wrapper, page)
+                if found is not None:
+                    instances.append((wrapper.schema_id, found))
 
-        deduped = _dedup_instances(instances)
-        deduped.sort(key=lambda item: item[1].start)
+            deduped = _dedup_instances(instances)
+            obs.count("extract.dedup_dropped", len(instances) - len(deduped))
+            deduped.sort(key=lambda item: item[1].start)
+            obs.count("extract.sections", len(deduped))
+            obs.count(
+                "extract.records",
+                sum(len(instance.records) for _, instance in deduped),
+            )
         return PageExtraction(
             sections=tuple(
                 section_to_extracted(instance, schema_id)

@@ -27,6 +27,7 @@ from repro.evalkit.report import (
     render_record_table,
     render_section_table,
 )
+from repro.obs import NULL_OBSERVER, Observer, render_report
 from repro.testbed.corpus import SAMPLE_PAGES, EnginePages, iter_corpus
 
 
@@ -60,11 +61,19 @@ def _engine_metadata(engine_pages: EnginePages) -> dict:
 
 
 def evaluate_engine(
-    engine_pages: EnginePages, config: Optional[MSEConfig] = None
+    engine_pages: EnginePages,
+    config: Optional[MSEConfig] = None,
+    obs=NULL_OBSERVER,
 ) -> EngineResult:
-    """Build a wrapper from the sample pages and grade all ten pages."""
+    """Build a wrapper from the sample pages and grade all ten pages.
+
+    ``obs`` is an optional :class:`repro.obs.Observer`; spans aggregate
+    across engines, so one observer threaded through a whole run yields
+    per-stage wall time and counters for the corpus ("which stage
+    regressed?" attribution for benchmark trajectories).
+    """
     rows = EvalRows()
-    mse = MSE(config)
+    mse = MSE(config, obs=obs)
     metadata = _engine_metadata(engine_pages)
 
     start = time.perf_counter()
@@ -87,7 +96,7 @@ def evaluate_engine(
         zip(engine_pages.pages, engine_pages.queries)
     ):
         truth = engine_pages.truths[index]
-        extraction = wrapper.extract(markup, query)
+        extraction = wrapper.extract(markup, query, obs=obs)
         grade = grade_page(extraction, truth)
         is_sample = index < SAMPLE_PAGES
         sections = rows.sample_sections if is_sample else rows.test_sections
@@ -245,11 +254,12 @@ def run_evaluation(
     limit: Optional[int] = None,
     config: Optional[MSEConfig] = None,
     progress: bool = False,
+    obs=NULL_OBSERVER,
 ) -> EvaluationRun:
     """Evaluate MSE over (a subset of) the corpus."""
     run = EvaluationRun()
     for engine_pages in iter_corpus(subset, limit=limit):
-        result = evaluate_engine(engine_pages, config)
+        result = evaluate_engine(engine_pages, config, obs=obs)
         run.engines.append(result)
         run.rows.merge(result.rows)
         if progress:
@@ -288,13 +298,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--csv", default=None, help="write per-engine results to a CSV file"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write an aggregate JSONL pipeline trace (spans + metrics) to FILE",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the aggregate span tree and metrics to stderr",
+    )
     args = parser.parse_args(argv)
 
     want = {"1", "2", "3"} if args.table == "all" else {args.table}
+    obs = Observer() if (args.trace or args.stats) else NULL_OBSERVER
 
-    run_all = run_evaluation("all", args.limit, progress=args.progress)
+    run_all = run_evaluation("all", args.limit, progress=args.progress, obs=obs)
     if "2" in want and args.limit is None:
-        run_multi = run_evaluation("multi", None, progress=args.progress)
+        run_multi = run_evaluation("multi", None, progress=args.progress, obs=obs)
     else:
         # With a limit, derive the multi-section subset from the same run.
         run_multi = EvaluationRun()
@@ -331,6 +353,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.csv:
         write_engine_csv(run_all, args.csv)
         print(f"per-engine results written to {args.csv}")
+
+    if obs.enabled:
+        obs.gauge("eval.engines", len(run_all.engines))
+        obs.gauge("eval.failures", len(run_all.failures))
+        if args.trace:
+            obs.write_jsonl(args.trace)
+            print(f"pipeline trace written to {args.trace}", file=sys.stderr)
+        if args.stats:
+            print(render_report(obs, "eval trace"), file=sys.stderr)
 
     if run_all.failures:
         print(f"({len(run_all.failures)} engines failed wrapper induction)", file=sys.stderr)

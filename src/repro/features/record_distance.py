@@ -84,11 +84,18 @@ class RecordDistanceCache:
     Refinement and granularity analysis recompute Drec for the same block
     pairs many times; blocks hash by (page, start, end) so a small dict
     cache removes the duplicate tree-edit work.
+
+    The cache keeps hit/miss counters so the observability layer can
+    report how much duplicate work memoization actually removed (the
+    ``cache.hits`` / ``cache.misses`` stage counters and the
+    ``record_distance_cache.hit_rate`` gauge).
     """
 
     def __init__(self, config: FeatureConfig = DEFAULT_CONFIG) -> None:
         self.config = config
         self._cache: Dict[Tuple[Tuple[int, int, int], Tuple[int, int, int]], float] = {}
+        self.hits = 0
+        self.misses = 0
 
     def distance(self, block1: Block, block2: Block) -> float:
         """Drec with memoization (symmetric)."""
@@ -97,9 +104,27 @@ class RecordDistanceCache:
         key = (key1, key2) if key1 <= key2 else (key2, key1)
         found = self._cache.get(key)
         if found is None:
+            self.misses += 1
             found = record_distance(block1, block2, self.config)
             self._cache[key] = found
+        else:
+            self.hits += 1
         return found
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss counters plus derived rate and current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._cache),
+        }
 
     def average_to_group(self, block: Block, group: Sequence[Block]) -> float:
         """Davgrs(block, group): mean Drec from ``block`` to each member."""

@@ -1,0 +1,39 @@
+"""Observability for the MSE pipeline: tracing, metrics, reporting.
+
+The subsystem is zero-dependency and opt-in.  An :class:`Observer` is an
+explicit context object threaded through the pipeline (never a global);
+code that is handed no observer gets :data:`NULL_OBSERVER`, whose
+methods are no-ops.
+
+    from repro.obs import Observer
+    obs = Observer()
+    wrapper = MSE(obs=obs).build_wrapper(samples)
+    obs.write_jsonl("trace.jsonl")     # machine-readable
+    print(render_report(obs))          # human-readable tree
+
+See the "Observability" section of README.md for the span taxonomy and
+the stats JSON schema.
+"""
+
+from repro.obs.metrics import MetricsRegistry, TimingStats
+from repro.obs.report import render_metrics, render_report, render_tree
+from repro.obs.trace import (
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    SpanNode,
+    read_jsonl,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "TimingStats",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "SpanNode",
+    "read_jsonl",
+    "render_metrics",
+    "render_report",
+    "render_tree",
+]

@@ -1,0 +1,71 @@
+"""Human-readable rendering of a recorded trace.
+
+``render_tree`` prints the span tree with call counts, wall time and
+per-span counters; ``render_metrics`` appends the registry.  Both are
+plain strings so the CLI's ``--stats`` flag and test assertions share
+one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.metrics import Number
+from repro.obs.trace import Observer, SpanNode
+
+
+def _format_counters(counters: Dict[str, Number]) -> str:
+    if not counters:
+        return ""
+    parts = []
+    for name, value in sorted(counters.items()):
+        if isinstance(value, float) and not value.is_integer():
+            parts.append(f"{name}={value:.3f}")
+        else:
+            parts.append(f"{name}={int(value)}")
+    return "  [" + " ".join(parts) + "]"
+
+
+def _render_node(node: SpanNode, depth: int, lines: List[str]) -> None:
+    label = "  " * depth + node.name
+    lines.append(
+        f"{label:<28s} {node.calls:>4d}x {node.seconds * 1000:>10.1f}ms"
+        f"{_format_counters(node.counters)}"
+    )
+    for child in node.children.values():
+        _render_node(child, depth + 1, lines)
+
+
+def render_tree(observer: Observer, title: str = "pipeline trace") -> str:
+    """The span tree as an indented table (one row per span path)."""
+    lines = [f"{title} (calls, wall time, stage counters):"]
+    for node in observer.root.children.values():
+        _render_node(node, 1, lines)
+    if len(lines) == 1:
+        lines.append("  (no spans recorded)")
+    return "\n".join(lines)
+
+
+def render_metrics(observer: Observer) -> str:
+    """Counters, gauges and timing summaries as aligned key = value rows."""
+    snapshot = observer.metrics.snapshot()
+    lines = ["metrics:"]
+    for name, value in snapshot["counters"].items():
+        lines.append(f"  {name:<40s} = {value}")
+    for name, value in snapshot["gauges"].items():
+        shown = f"{value:.4f}" if isinstance(value, float) else str(value)
+        lines.append(f"  {name:<40s} = {shown}")
+    for name, timing in snapshot["timings"].items():
+        lines.append(
+            f"  {name:<40s} = {timing['count']}x "
+            f"total {timing['total'] * 1000:.1f}ms "
+            f"mean {timing['mean'] * 1000:.2f}ms"
+        )
+    if len(lines) == 1:
+        lines.append("  (none)")
+    return "\n".join(lines)
+
+
+def render_report(observer: Observer, title: str = "pipeline trace") -> str:
+    """Tree plus metrics — what ``--stats`` prints after a run."""
+    return render_tree(observer, title) + "\n" + render_metrics(observer)

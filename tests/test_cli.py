@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _split_page_arg, main
+from repro.obs import read_jsonl
 from repro.testbed import load_engine_pages
 
 
@@ -119,7 +120,169 @@ class TestDemoAndEval:
         out = capsys.readouterr().out
         assert "induced" in out and "extraction" in out
 
+    def test_demo_reports_actual_sample_count(self, capsys):
+        engine_pages = load_engine_pages(3)
+        main(["demo", "--engine-id", "3"])
+        out = capsys.readouterr().out
+        assert f"from {len(engine_pages.sample_set)} sample pages" in out
+
     def test_eval_limited(self, capsys):
         code = main(["eval", "--table", "1", "--limit", "2"])
         assert code == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestSplitPageArg:
+    def test_plain_path(self):
+        assert _split_page_arg("page.html") == ("page.html", "")
+
+    def test_path_with_query(self):
+        assert _split_page_arg("page.html:lunar eclipse") == (
+            "page.html",
+            "lunar eclipse",
+        )
+
+    def test_query_containing_colons(self):
+        assert _split_page_arg("p.html:a:b:c") == ("p.html", "a:b:c")
+
+    def test_windows_drive_letter(self):
+        assert _split_page_arg(r"C:\pages\p.html:query") == (
+            r"C:\pages\p.html",
+            "query",
+        )
+        assert _split_page_arg(r"C:\pages\p.html") == (r"C:\pages\p.html", "")
+
+    def test_directory_with_colon_in_name(self):
+        # Only the suffix after the *last* ``.html:`` is the query, so a
+        # path component that itself ends in ``.html:`` stays in the path.
+        assert _split_page_arg("snap.html:v2/page.html:deep query") == (
+            "snap.html:v2/page.html",
+            "deep query",
+        )
+
+    def test_htm_extension(self):
+        assert _split_page_arg("page.htm:old style") == ("page.htm", "old style")
+
+    def test_case_insensitive_extension(self):
+        assert _split_page_arg("PAGE.HTML:query") == ("PAGE.HTML", "query")
+
+    def test_no_extension_colon_is_path(self):
+        assert _split_page_arg("archive:page") == ("archive:page", "")
+
+
+PIPELINE_STAGES = (
+    "render", "mre", "dse", "refine", "mine",
+    "granularity", "grouping", "wrapper", "families",
+)
+
+
+class TestTraceFlags:
+    def test_induce_trace_writes_valid_jsonl(self, workspace, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "induce",
+                "--trace",
+                str(trace),
+                "-o",
+                workspace["wrapper"],
+                *workspace["samples"],
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        # Every line is standalone JSON.
+        lines = trace.read_text(encoding="utf-8").strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records
+
+        doc = read_jsonl(str(trace))
+        assert doc["format"] == "repro-obs-trace"
+        top_level = [
+            span for span in doc["spans"] if "/" not in span["path"]
+        ]
+        names = [span["name"] for span in top_level]
+        assert sorted(names) == sorted(PIPELINE_STAGES)
+        for span in top_level:
+            assert span["calls"] == 1
+            assert span["seconds"] >= 0.0
+        # Stage counters and the cache hit-rate gauge made it to disk.
+        by_name = {span["name"]: span for span in top_level}
+        assert by_name["render"]["counters"]["render.pages"] == 5
+        assert "record_distance_cache.hit_rate" in doc["metrics"]["gauges"]
+
+    def test_induce_stats_prints_report(self, workspace, capsys):
+        code = main(
+            ["induce", "--stats", "-o", workspace["wrapper"], *workspace["samples"]]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "induce trace" in err
+        for stage in PIPELINE_STAGES:
+            assert stage in err
+
+    def test_extract_trace(self, workspace, tmp_path, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        trace = tmp_path / "extract.jsonl"
+        code = main(
+            [
+                "extract",
+                "--trace",
+                str(trace),
+                "-w",
+                workspace["wrapper"],
+                workspace["new_page"],
+                "--query",
+                workspace["new_query"],
+            ]
+        )
+        assert code == 0
+        doc = read_jsonl(str(trace))
+        names = {span["name"] for span in doc["spans"]}
+        assert {"render", "families", "wrappers"} <= names
+
+    def test_check_stats_metrics_breakdown(self, workspace, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        code = main(
+            [
+                "check",
+                "--stats",
+                "-w",
+                workspace["wrapper"],
+                workspace["new_page"],
+                "--query",
+                workspace["new_query"],
+            ]
+        )
+        assert code in (0, 1)
+        captured = capsys.readouterr()
+        assert "checks:" in captured.out
+        metrics_line = next(
+            line for line in captured.err.splitlines()
+            if line.startswith("metrics: ")
+        )
+        metrics = json.loads(metrics_line[len("metrics: "):])
+        for key in (
+            "score", "sections", "found_rate", "healthy_rate",
+            "homogeneous_rate", "count_plausible_rate", "marker_hit_rate",
+        ):
+            assert key in metrics
+
+    def test_eval_trace_and_stats(self, tmp_path, capsys):
+        trace = tmp_path / "eval.jsonl"
+        code = main(
+            [
+                "eval", "--table", "1", "--limit", "2",
+                "--trace", str(trace), "--stats",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "eval trace" in err
+        doc = read_jsonl(str(trace))
+        names = {span["name"] for span in doc["spans"]}
+        assert set(PIPELINE_STAGES) <= names
+        assert doc["metrics"]["gauges"]["eval.engines"] == 2
