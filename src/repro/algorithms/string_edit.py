@@ -9,6 +9,16 @@ The paper uses string edit distance in two places (§4.1, §4.2):
 
 Both need a generalized Levenshtein distance with a pluggable
 substitution-cost function, provided here by :func:`edit_distance`.
+
+:func:`edit_distance` is the production kernel: it trims shared
+prefixes/suffixes before running the dynamic program and supports
+threshold early-abandon via ``cutoff`` (a banded DP).  All costs are
+assumed non-negative with ``substitution_cost(x, x) == 0`` — true of
+every cost in this codebase — which is what makes the trimming exact;
+with a custom cost the trim is verified pair-by-pair before it is
+applied, so arbitrary non-negative costs remain safe.
+:func:`edit_distance_reference` keeps the plain O(n*m) dynamic program
+as the oracle for property tests and kernel benchmarks.
 """
 
 from __future__ import annotations
@@ -19,6 +29,8 @@ T = TypeVar("T")
 
 SubstCost = Callable[[T, T], float]
 
+_INF = float("inf")
+
 
 def edit_distance(
     seq1: Sequence[T],
@@ -26,19 +38,172 @@ def edit_distance(
     substitution_cost: Optional[SubstCost] = None,
     insertion_cost: float = 1.0,
     deletion_cost: float = 1.0,
+    cutoff: Optional[float] = None,
 ) -> float:
     """Generalized Levenshtein distance between two sequences.
 
     ``substitution_cost(a, b)`` returns the cost of replacing ``a`` with
     ``b``; the default is 0 for equal items and 1 otherwise.  Insertions
-    and deletions have unit cost unless overridden.
+    and deletions have unit cost unless overridden.  All costs must be
+    non-negative.
 
-    Runs in O(len(seq1) * len(seq2)) time and O(min(len)) space.
+    ``cutoff`` enables threshold early-abandon: when the true distance is
+    ``>= cutoff`` the function may stop early and return *some* value
+    ``>= cutoff`` (a valid lower bound, not necessarily the exact
+    distance); when the true distance is ``< cutoff`` the exact distance
+    is returned.  Callers that only compare against a threshold keep the
+    comparison's outcome while skipping most of the DP (the computation
+    is restricted to a diagonal band of width ``cutoff / min(indel)``).
+
+    Runs in O(len(seq1) * len(seq2)) time and O(min(len)) space, minus
+    whatever the shared-prefix/suffix trim and the band remove.
+    """
+    lo1, hi1 = 0, len(seq1)
+    lo2, hi2 = 0, len(seq2)
+
+    # -- shared prefix/suffix trimming ----------------------------------
+    # Exact for non-negative costs: an optimal alignment can always be
+    # rewritten to match an equal, zero-substitution-cost end pair
+    # without increasing total cost.
+    if substitution_cost is None:
+        while lo1 < hi1 and lo2 < hi2 and seq1[lo1] == seq2[lo2]:
+            lo1 += 1
+            lo2 += 1
+        while hi1 > lo1 and hi2 > lo2 and seq1[hi1 - 1] == seq2[hi2 - 1]:
+            hi1 -= 1
+            hi2 -= 1
+        substitution_cost = _unit_substitution
+    else:
+        while (
+            lo1 < hi1
+            and lo2 < hi2
+            and seq1[lo1] == seq2[lo2]
+            and substitution_cost(seq1[lo1], seq2[lo2]) == 0.0
+        ):
+            lo1 += 1
+            lo2 += 1
+        while (
+            hi1 > lo1
+            and hi2 > lo2
+            and seq1[hi1 - 1] == seq2[hi2 - 1]
+            and substitution_cost(seq1[hi1 - 1], seq2[hi2 - 1]) == 0.0
+        ):
+            hi1 -= 1
+            hi2 -= 1
+
+    seq1 = seq1[lo1:hi1]
+    seq2 = seq2[lo2:hi2]
+
+    # -- degenerate remainders ------------------------------------------
+    if not seq1:
+        return len(seq2) * insertion_cost
+    if not seq2:
+        return len(seq1) * deletion_cost
+
+    # Keep the shorter sequence in the inner dimension for O(min) space.
+    if len(seq2) > len(seq1):
+        seq1, seq2 = seq2, seq1
+        insertion_cost, deletion_cost = deletion_cost, insertion_cost
+        inner_subst = _flip(substitution_cost)
+    else:
+        inner_subst = substitution_cost
+
+    n1, n2 = len(seq1), len(seq2)
+
+    # -- cutoff preliminaries -------------------------------------------
+    band: Optional[int] = None
+    if cutoff is not None:
+        if cutoff <= 0:
+            # Every distance is >= 0 >= cutoff; any non-negative bound works.
+            return 0.0
+        # Unmatched length is a lower bound: each of the (n1 - n2) extra
+        # items of the (longer) outer sequence must be deleted.
+        gap_bound = (n1 - n2) * deletion_cost
+        if gap_bound >= cutoff:
+            return gap_bound
+        min_indel = min(insertion_cost, deletion_cost)
+        if min_indel > 0:
+            # A cell (i, j) needs at least |i - j| * min_indel indel cost
+            # on any path through it; outside this band the path already
+            # meets the cutoff.
+            band = int(cutoff / min_indel) + 1
+
+    previous = [j * insertion_cost for j in range(n2 + 1)]
+    for i, item1 in enumerate(seq1, start=1):
+        if band is not None:
+            j_lo = max(1, i - band)
+            j_hi = min(n2, i + band)
+            left = i * deletion_cost if j_lo == 1 else _INF
+            cells = []
+            row_min = left
+            for j in range(j_lo, j_hi + 1):
+                item2 = seq2[j - 1]
+                above = previous[j] if j - (i - 1) <= band else _INF
+                diag = previous[j - 1]
+                value = left + insertion_cost
+                other = above + deletion_cost
+                if other < value:
+                    value = other
+                if diag < _INF:
+                    other = diag + inner_subst(item1, item2)
+                    if other < value:
+                        value = other
+                cells.append(value)
+                left = value
+                if value < row_min:
+                    row_min = value
+            if row_min >= cutoff:  # type: ignore[operator]
+                return row_min
+            # Re-pad so absolute j indexing into ``previous`` keeps working.
+            current = [_INF] * j_lo if j_lo > 1 else [i * deletion_cost]
+            current.extend(cells)
+            current.extend([_INF] * (n2 - j_hi))
+        else:
+            current = [i * deletion_cost]
+            append = current.append
+            prev_j = previous[0]
+            acc = current[0]
+            for j, item2 in enumerate(seq2, start=1):
+                prev_j1 = previous[j]
+                value = acc + insertion_cost
+                other = prev_j1 + deletion_cost
+                if other < value:
+                    value = other
+                other = prev_j + inner_subst(item1, item2)
+                if other < value:
+                    value = other
+                append(value)
+                prev_j = prev_j1
+                acc = value
+            if cutoff is not None:
+                row_min = min(current)
+                if row_min >= cutoff:
+                    return row_min
+        previous = current
+    result = previous[-1]
+    if result is _INF or result == _INF:
+        # The final cell fell outside the band: the distance meets the cutoff.
+        assert cutoff is not None
+        return cutoff
+    return result
+
+
+def edit_distance_reference(
+    seq1: Sequence[T],
+    seq2: Sequence[T],
+    substitution_cost: Optional[SubstCost] = None,
+    insertion_cost: float = 1.0,
+    deletion_cost: float = 1.0,
+) -> float:
+    """The plain generalized Levenshtein DP, with no fast paths.
+
+    Kept as the oracle the optimized :func:`edit_distance` is property-
+    tested and benchmarked against (``tests/test_perf_kernels.py``,
+    ``benchmarks/bench_kernels.py``).
     """
     if substitution_cost is None:
         substitution_cost = _unit_substitution
 
-    # Keep the shorter sequence in the inner dimension for O(min) space.
     if len(seq2) > len(seq1):
         seq1, seq2 = seq2, seq1
         insertion_cost, deletion_cost = deletion_cost, insertion_cost

@@ -155,6 +155,46 @@ def normalized_tree_distance(tree1: OrderedTree, tree2: OrderedTree) -> float:
     return tree_edit_distance(tree1, tree2) / larger
 
 
+TreeSignature = Tuple[Tuple[str, int], ...]
+
+
+def tree_signature(tree: OrderedTree) -> TreeSignature:
+    """Hashable flattened post-order signature of a tree.
+
+    One ``(label, leftmost_leaf_index)`` pair per node in post-order —
+    the Zhang–Shasha annotation itself — which uniquely identifies the
+    labelled ordered tree: two trees are structurally equal iff their
+    signatures are equal, and ``len(signature) == tree.size()``.  The
+    signature is what the memoized kernels in :mod:`repro.perf` key on,
+    so repeated tag forests are compared by one tuple hash instead of a
+    tree-edit dynamic program.
+    """
+    labels: List[str] = []
+    lml: List[int] = []
+
+    def visit(node: OrderedTree) -> int:
+        if node.children:
+            first = visit(node.children[0])
+            for child in node.children[1:]:
+                visit(child)
+            my_lml = first
+        else:
+            my_lml = len(labels)
+        labels.append(node.label)
+        lml.append(my_lml)
+        return my_lml
+
+    visit(tree)
+    return tuple(zip(labels, lml))
+
+
+def forest_signature(
+    forest: Sequence[OrderedTree],
+) -> Tuple[TreeSignature, ...]:
+    """Per-tree signatures of a tag forest (see :func:`tree_signature`)."""
+    return tuple(tree_signature(tree) for tree in forest)
+
+
 def forest_distance(
     forest1: Sequence[OrderedTree],
     forest2: Sequence[OrderedTree],

@@ -3,7 +3,7 @@
     python -m repro induce  -o wrapper.json page1.html:query1 page2.html:query2 ...
     python -m repro extract -w wrapper.json page.html [--query "..."] [--json]
     python -m repro check   -w wrapper.json page.html [--query "..."]
-    python -m repro eval    [--table 1|2|3|all] [--limit N]
+    python -m repro eval    [--table 1|2|3|all] [--limit N] [--jobs N]
     python -m repro demo    [--engine-id N]
 
 ``induce`` builds a wrapper from sample pages (each argument is an HTML
@@ -152,6 +152,8 @@ def cmd_eval(args) -> int:
         argv += ["--limit", str(args.limit)]
     if args.progress:
         argv.append("--progress")
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
     if args.trace:
         argv += ["--trace", args.trace]
     if args.stats:
@@ -223,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--table", choices=["1", "2", "3", "all"], default="all")
     p_eval.add_argument("--limit", type=int, default=None)
     p_eval.add_argument("--progress", action="store_true")
+    p_eval.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the evaluation (1 = serial)",
+    )
     _add_obs_flags(p_eval)
     p_eval.set_defaults(func=cmd_eval)
 

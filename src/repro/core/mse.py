@@ -36,6 +36,7 @@ from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.features.record_distance import RecordDistanceCache
 from repro.htmlmod.parser import parse_html
 from repro.obs import NULL_OBSERVER
+from repro.perf.kernels import observe_kernel_gauges
 from repro.render.layout import render_page
 from repro.render.lines import RenderedPage
 
@@ -176,6 +177,15 @@ class MSE:
             "record_distance_cache.hit_rate",
             hits / (hits + misses) if hits + misses else 0.0,
         )
+        div_hits = sum(cache.diversity_hits for cache in caches)
+        div_misses = sum(cache.diversity_misses for cache in caches)
+        obs.gauge("diversity_cache.hits", div_hits)
+        obs.gauge("diversity_cache.misses", div_misses)
+        obs.gauge(
+            "diversity_cache.hit_rate",
+            div_hits / (div_hits + div_misses) if div_hits + div_misses else 0.0,
+        )
+        observe_kernel_gauges(obs)
         return sections_per_page
 
     @contextmanager

@@ -20,7 +20,7 @@ from repro.render.styles import TextAttr
 class Block:
     """A consecutive span of content lines ``start..end`` (inclusive)."""
 
-    __slots__ = ("page", "start", "end", "_forest")
+    __slots__ = ("page", "start", "end", "_forest", "_fp")
 
     def __init__(self, page: RenderedPage, start: int, end: int) -> None:
         if start > end:
@@ -31,6 +31,8 @@ class Block:
         self.start = start
         self.end = end
         self._forest: Optional[List[OrderedTree]] = None
+        #: lazily filled by repro.perf.fingerprints.block_fingerprint
+        self._fp = None
 
     # -- identity -----------------------------------------------------------
     def __len__(self) -> int:

@@ -21,12 +21,19 @@ from repro.features.record_distance import RecordDistanceCache
 
 
 def record_diversity(
-    record: Block, config: FeatureConfig = DEFAULT_CONFIG
+    record: Block,
+    config: FeatureConfig = DEFAULT_CONFIG,
+    cache: Optional[RecordDistanceCache] = None,
 ) -> float:
     """Div(r) (Formula 6): mean pairwise line distance within a record.
 
-    A single-line record has diversity 0.
+    A single-line record has diversity 0.  With a cache the value is
+    memoized by the record's line span, so candidate partitions sharing
+    sub-blocks (as ``best_partition``'s inputs always do) pay for each
+    span once.
     """
+    if cache is not None:
+        return cache.diversity(record)
     lines = record.lines
     if len(lines) < 2:
         return 0.0
@@ -65,7 +72,7 @@ def section_cohesion(
     """
     if not records:
         return 0.0
-    mean_diversity = sum(record_diversity(r, config) for r in records) / len(records)
+    mean_diversity = sum(record_diversity(r, config, cache) for r in records) / len(records)
     return mean_diversity / (1.0 + inter_record_distance(records, config, cache))
 
 

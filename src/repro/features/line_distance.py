@@ -41,6 +41,15 @@ def line_distance(
     config: FeatureConfig = DEFAULT_CONFIG,
 ) -> float:
     """Dline (Formula 3): weighted sum of type, position and attr distances."""
+    if line1 is line2 or (
+        line1.line_type == line2.line_type
+        and line1.position == line2.position
+        and line1.attrs == line2.attrs
+    ):
+        # All three component distances are exactly 0 for identical
+        # features (Dtl(t,t) = 0, Dpl = K*log1p(0) = 0, Dtal = 0), so the
+        # weighted sum is exactly 0.0.
+        return 0.0
     u1, u2, u3 = config.line_weights
     return (
         u1 * type_distance(line1.line_type, line2.line_type)

@@ -92,6 +92,28 @@ class MetricsRegistry:
             mine.min = min(mine.min, timing.min)
             mine.max = max(mine.max, timing.max)
 
+    def merge_snapshot(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold a :meth:`snapshot` document into this registry.
+
+        The plain-dict counterpart of :meth:`merge`, used to combine
+        metrics that crossed a process boundary (parallel evaluation
+        workers return ``Observer.stats()`` documents, not live
+        registries).  Counters add, gauges overwrite, timings combine.
+        """
+        for name, amount in snapshot.get("counters", {}).items():
+            self.count(name, amount)
+        self.gauges.update(snapshot.get("gauges", {}))
+        for name, doc in snapshot.get("timings", {}).items():
+            mine = self.timings.get(name)
+            if mine is None:
+                mine = self.timings[name] = TimingStats()
+            count = doc.get("count", 0)
+            mine.count += count
+            mine.total += doc.get("total", 0.0)
+            if count:
+                mine.min = min(mine.min, doc.get("min", float("inf")))
+            mine.max = max(mine.max, doc.get("max", 0.0))
+
     def snapshot(self) -> Dict[str, Dict]:
         """A plain-dict view of everything, stable key order."""
         return {

@@ -206,6 +206,26 @@ class Observer:
             "metrics": self.metrics.snapshot(),
         }
 
+    def merge_stats(self, stats: Dict[str, Any]) -> None:
+        """Fold a :meth:`stats` document into this observer.
+
+        Span dicts graft onto this observer's tree by their ``path``
+        (calls and seconds add, counters add); metrics merge via
+        :meth:`MetricsRegistry.merge_snapshot`.  This is how the parallel
+        evaluation harness combines the per-worker observers into one
+        aggregate trace — spans are pre-order in the document, so a
+        parent's node always exists before its children are grafted.
+        """
+        for doc in stats.get("spans", []):
+            node = self.root
+            for name in doc["path"].split("/"):
+                node = node.child(name)
+            node.calls += doc.get("calls", 0)
+            node.seconds += doc.get("seconds", 0.0)
+            for name, amount in doc.get("counters", {}).items():
+                node.count(name, amount)
+        self.metrics.merge_snapshot(stats.get("metrics", {}))
+
     # -- persistence ----------------------------------------------------
     def write_jsonl(self, target: Union[str, IO[str]]) -> None:
         """Emit the trace as JSON Lines.

@@ -1,0 +1,62 @@
+"""Hot-kernel optimisation layer: fingerprints, memoized kernels, stats.
+
+The distance kernels of §4 — Zhang–Shasha tree edit (Dtf), generalized
+Levenshtein (Dbt/Dbs/Dbta) and the O(n²) cohesion sums of Formulas 5–7 —
+dominate wrapper-induction time (see the ``BENCH_stages.json``
+trajectory).  This package attacks them from the data side and the
+compute side while keeping every result bit-identical to the reference
+implementations:
+
+- :mod:`repro.perf.fingerprints` — per-block compact signatures:
+  attribute-set bitmasks (Dtal by popcount), interned feature tuples,
+  flattened post-order tag-forest signatures;
+- :mod:`repro.perf.kernels` — process-wide tree/forest distance memos
+  keyed on those signatures, with hit/miss statistics surfaced as
+  ``perf.*`` observability gauges.
+
+See the "Performance" section of DESIGN.md for how the layers fit, and
+``benchmarks/bench_kernels.py`` for the per-kernel micro-benchmarks that
+feed ``BENCH_kernels.json``.
+"""
+
+from repro.perf.fingerprints import (
+    ATTR_INTERNER,
+    TUPLE_INTERNER,
+    AttrInterner,
+    BlockFingerprint,
+    TupleInterner,
+    block_fingerprint,
+    interned_forest_signature,
+    masked_attr_distance,
+)
+from repro.perf.kernels import (
+    FOREST_MEMO,
+    TREE_MEMO,
+    PairMemo,
+    SignedTree,
+    clear_kernel_caches,
+    fast_forest_distance,
+    fast_normalized_tree_distance,
+    kernel_cache_stats,
+    observe_kernel_gauges,
+)
+
+__all__ = [
+    "ATTR_INTERNER",
+    "FOREST_MEMO",
+    "TREE_MEMO",
+    "TUPLE_INTERNER",
+    "AttrInterner",
+    "BlockFingerprint",
+    "PairMemo",
+    "SignedTree",
+    "TupleInterner",
+    "block_fingerprint",
+    "clear_kernel_caches",
+    "fast_forest_distance",
+    "fast_normalized_tree_distance",
+    "interned_forest_signature",
+    "kernel_cache_stats",
+    "masked_attr_distance",
+    "observe_kernel_gauges",
+]

@@ -1,0 +1,199 @@
+"""Compact per-block feature fingerprints (the perf layer's data side).
+
+The distance kernels of §4 compare the same block features over and over
+— type-code sequences, left contours, per-line text-attribute sets and
+tag forests.  A :class:`BlockFingerprint` computes each feature *once*
+per block and reduces it to small interned immutable values:
+
+- per-line **attribute sets** become integer bitmasks (one bit per
+  distinct :class:`~repro.render.styles.TextAttr` seen in the process),
+  so ``Dtal`` (Formula 2) is an AND + popcount instead of frozenset
+  intersection — with arithmetic identical to the reference;
+- **type-code and shape tuples** are interned, so equality checks hit
+  the ``is`` fast path and equal blocks share one object;
+- **tag forests** become flattened post-order signatures
+  (:func:`repro.algorithms.tree_edit.tree_signature`), the keys of the
+  tree/forest memos in :mod:`repro.perf.kernels`.
+
+Fingerprints are cached on the block (``Block._fp``), and the interners
+are process-wide: the distinct-value populations (text attributes, type
+codes, tag structures) are tiny compared to the number of comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.algorithms.tree_edit import tree_signature
+from repro.render.styles import TextAttr
+
+try:  # Python >= 3.10
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover - 3.9 fallback
+    def _popcount(value: int) -> int:
+        return bin(value).count("1")
+
+
+#: (bitmask, set size) — the compact form of one line's attribute set
+AttrMask = Tuple[int, int]
+
+
+class AttrInterner:
+    """Process-wide ``TextAttr -> bit`` registry with a frozenset memo.
+
+    ``mask(attrs)`` maps an attribute frozenset to its ``(bitmask,
+    size)`` pair; each distinct frozenset is converted exactly once.
+    """
+
+    __slots__ = ("_bits", "_masks", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._bits: Dict[TextAttr, int] = {}
+        self._masks: Dict[FrozenSet[TextAttr], AttrMask] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def mask(self, attrs: FrozenSet[TextAttr]) -> AttrMask:
+        found = self._masks.get(attrs)
+        if found is None:
+            self.misses += 1
+            bits = self._bits
+            mask = 0
+            for attr in attrs:
+                bit = bits.get(attr)
+                if bit is None:
+                    bit = bits[attr] = len(bits)
+                mask |= 1 << bit
+            found = self._masks[attrs] = (mask, len(attrs))
+        else:
+            self.hits += 1
+        return found
+
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "entries": len(self._masks),
+            "bits": len(self._bits),
+        }
+
+    def clear(self) -> None:
+        self._bits.clear()
+        self._masks.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class TupleInterner:
+    """Canonicalize equal tuples to one shared object.
+
+    Interned values make equality checks identity checks (``is``), and
+    let the pair memos key on object identity-stable tuples.
+    """
+
+    __slots__ = ("_seen",)
+
+    def __init__(self) -> None:
+        self._seen: Dict[tuple, tuple] = {}
+
+    def intern(self, value: tuple) -> tuple:
+        return self._seen.setdefault(value, value)
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def clear(self) -> None:
+        self._seen.clear()
+
+
+#: process-wide interners; cleared by repro.perf.clear_kernel_caches()
+ATTR_INTERNER = AttrInterner()
+TUPLE_INTERNER = TupleInterner()
+
+
+def masked_attr_distance(mask1: AttrMask, mask2: AttrMask) -> float:
+    """Dtal (Formula 2) over bitmasks — exact, popcount-based.
+
+    ``1 - |la1 & la2| / max(|la1|, |la2|)`` with the intersection size
+    computed as ``popcount(m1 & m2)``; both operands are the same
+    integers the frozenset reference uses, so the float result is
+    bit-identical to :func:`repro.features.line_distance.text_attr_distance`.
+    """
+    size1 = mask1[1]
+    size2 = mask2[1]
+    larger = size1 if size1 >= size2 else size2
+    if larger == 0:
+        return 0.0
+    return 1.0 - _popcount(mask1[0] & mask2[0]) / larger
+
+
+class BlockFingerprint:
+    """Immutable compact signature of one block's §4.2 features."""
+
+    __slots__ = ("type_codes", "shape", "position", "attr_masks", "forest_sig")
+
+    def __init__(
+        self,
+        type_codes: tuple,
+        shape: tuple,
+        position: int,
+        attr_masks: Tuple[AttrMask, ...],
+        forest_sig: tuple,
+    ) -> None:
+        self.type_codes = type_codes
+        self.shape = shape
+        self.position = position
+        self.attr_masks = attr_masks
+        self.forest_sig = forest_sig
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, BlockFingerprint):
+            return NotImplemented
+        # Interned fields compare by identity first (tuple __eq__ already
+        # short-circuits on identical objects).
+        return (
+            self.position == other.position
+            and self.type_codes == other.type_codes
+            and self.shape == other.shape
+            and self.attr_masks == other.attr_masks
+            and self.forest_sig == other.forest_sig
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.type_codes, self.shape, self.position, self.attr_masks,
+             self.forest_sig)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockFingerprint(lines={len(self.type_codes)}, "
+            f"trees={len(self.forest_sig)}, position={self.position})"
+        )
+
+
+def interned_forest_signature(forest) -> tuple:
+    """Forest signature with every level interned (identity-stable)."""
+    intern = TUPLE_INTERNER.intern
+    return intern(tuple(intern(tree_signature(tree)) for tree in forest))
+
+
+def block_fingerprint(block) -> BlockFingerprint:
+    """The (cached) fingerprint of a :class:`repro.features.blocks.Block`."""
+    fp = block._fp
+    if fp is None:
+        intern = TUPLE_INTERNER.intern
+        fp = block._fp = BlockFingerprint(
+            type_codes=intern(block.type_codes),
+            shape=intern(block.shape),
+            position=block.position,
+            attr_masks=intern(
+                tuple(ATTR_INTERNER.mask(attrs) for attrs in block.text_attrs)
+            ),
+            forest_sig=interned_forest_signature(block.tag_forest()),
+        )
+    return fp

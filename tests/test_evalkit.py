@@ -191,3 +191,47 @@ class TestHarnessSmoke:
         run = run_evaluation("single", limit=2)
         assert len(run.engines) == 2
         assert run.rows.total_sections.actual > 0
+
+
+class TestParallelHarness:
+    """--jobs N must reproduce the serial run bit for bit."""
+
+    def test_parallel_rows_match_serial(self):
+        from dataclasses import asdict
+
+        from repro.evalkit.harness import run_evaluation
+        from repro.obs import Observer
+
+        serial_obs = Observer()
+        serial = run_evaluation("all", limit=3, obs=serial_obs)
+        parallel_obs = Observer()
+        parallel = run_evaluation("all", limit=3, obs=parallel_obs, jobs=2)
+
+        assert [e.engine_id for e in parallel.engines] == [
+            e.engine_id for e in serial.engines
+        ]
+        assert [asdict(e.rows) for e in parallel.engines] == [
+            asdict(e.rows) for e in serial.engines
+        ]
+        assert asdict(parallel.rows) == asdict(serial.rows)
+
+        # The merged worker traces carry the same span structure and
+        # counters as one serial observer.
+        serial_stats = serial_obs.stats()
+        parallel_stats = parallel_obs.stats()
+        spans_s = {d["path"]: d for d in serial_stats["spans"]}
+        spans_p = {d["path"]: d for d in parallel_stats["spans"]}
+        assert set(spans_s) == set(spans_p)
+        for path, span in spans_s.items():
+            assert spans_p[path]["calls"] == span["calls"], path
+            assert spans_p[path]["counters"] == span["counters"], path
+        assert (
+            parallel_stats["metrics"]["counters"]
+            == serial_stats["metrics"]["counters"]
+        )
+
+    def test_jobs_larger_than_workload(self):
+        from repro.evalkit.harness import run_evaluation
+
+        run = run_evaluation("all", limit=2, jobs=8)
+        assert len(run.engines) == 2

@@ -302,3 +302,61 @@ class TestRecordDistanceCacheStats:
 
     def test_fresh_cache_rate_is_zero(self):
         assert RecordDistanceCache().hit_rate == 0.0
+
+
+class TestMergeStats:
+    def test_metrics_merge_snapshot(self):
+        source = MetricsRegistry()
+        source.count("items", 3)
+        source.gauge("rate", 0.5)
+        source.observe("lap", 1.0)
+        source.observe("lap", 3.0)
+
+        target = MetricsRegistry()
+        target.count("items", 2)
+        target.observe("lap", 2.0)
+        target.merge_snapshot(source.snapshot())
+
+        snap = target.snapshot()
+        assert snap["counters"]["items"] == 5
+        assert snap["gauges"]["rate"] == 0.5
+        lap = snap["timings"]["lap"]
+        assert lap["count"] == 3
+        assert lap["total"] == 6.0
+        assert lap["min"] == 1.0 and lap["max"] == 3.0
+
+    def test_merge_snapshot_empty_timing_keeps_min(self):
+        target = MetricsRegistry()
+        target.observe("lap", 2.0)
+        target.merge_snapshot(
+            {"timings": {"lap": {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0}}}
+        )
+        assert target.timings["lap"].min == 2.0
+
+    def test_observer_merge_stats_grafts_span_tree(self):
+        worker = Observer(clock=FakeClock())
+        with worker.span("build"):
+            with worker.span("mre"):
+                worker.count("mre.sections", 2)
+
+        parent = Observer(clock=FakeClock())
+        with parent.span("build"):
+            with parent.span("mre"):
+                parent.count("mre.sections", 1)
+        parent.merge_stats(worker.stats())
+        parent.merge_stats(worker.stats())
+
+        by_path = {node.path: node for node in parent.spans()}
+        assert by_path["build"].calls == 3
+        mre = by_path["build/mre"]
+        assert mre.calls == 3
+        assert mre.counters["mre.sections"] == 5
+        assert parent.metrics.counters["mre.sections"] == 5
+
+    def test_merge_stats_into_empty_observer(self):
+        worker = Observer(clock=FakeClock())
+        with worker.span("render"):
+            pass
+        parent = Observer()
+        parent.merge_stats(worker.stats())
+        assert [node.path for node in parent.spans()] == ["render"]

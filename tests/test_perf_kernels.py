@@ -1,0 +1,313 @@
+"""The repro.perf fast kernels must agree exactly with the references.
+
+Every optimisation in the perf layer (trimmed/banded edit distance,
+bitmask Dtal, memoized tree/forest distance, cached diversity, the
+fingerprint fast paths inside ``record_distance``) claims *score
+identity* with the naive formula implementations — these property tests
+are that claim, on randomized inputs.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.string_edit import (
+    edit_distance,
+    edit_distance_reference,
+    normalized_edit_distance,
+)
+from repro.algorithms.tree_edit import (
+    OrderedTree,
+    forest_distance,
+    forest_signature,
+    tree_signature,
+)
+from repro.core.mse import MSEConfig
+from repro.features.blocks import Block
+from repro.features.cohesion import record_diversity, section_cohesion
+from repro.features.config import DEFAULT_CONFIG, FeatureConfig
+from repro.features.line_distance import line_distance, text_attr_distance
+from repro.features.record_distance import (
+    RecordDistanceCache,
+    _record_distance_reference,
+    record_distance,
+)
+from repro.htmlmod.parser import parse_html
+from repro.perf import (
+    ATTR_INTERNER,
+    FOREST_MEMO,
+    PairMemo,
+    block_fingerprint,
+    clear_kernel_caches,
+    fast_forest_distance,
+    kernel_cache_stats,
+    masked_attr_distance,
+)
+from repro.render.layout import render_page
+from repro.render.styles import TextAttr
+
+REFERENCE_CONFIG = FeatureConfig(fast_kernels=False)
+FAST_CONFIG = FeatureConfig(fast_kernels=True)
+
+# -- strategies -------------------------------------------------------------
+
+symbols = st.integers(min_value=0, max_value=5)
+sequences = st.lists(symbols, max_size=12).map(tuple)
+
+
+@st.composite
+def trees(draw, depth=3):
+    label = draw(st.sampled_from("abcd"))
+    if depth == 0:
+        return (label,)
+    children = draw(st.lists(trees(depth=depth - 1), max_size=3))
+    return (label, *children)
+
+
+@st.composite
+def forests(draw):
+    return [OrderedTree.from_tuple(spec) for spec in draw(st.lists(trees(), max_size=3))]
+
+
+attr_sets = st.frozensets(
+    st.builds(
+        TextAttr,
+        size=st.sampled_from([10, 12, 14]),
+        style=st.sampled_from(["plain", "bold", "italic"]),
+        underline=st.booleans(),
+    ),
+    max_size=4,
+)
+
+
+@st.composite
+def random_page(draw):
+    """A small rendered page with enough lines for multi-line blocks."""
+    n = draw(st.integers(min_value=3, max_value=6))
+    items = []
+    for i in range(n):
+        word = "abcdef"[i % 6]
+        body = f"<li><a href='/{i}'>{word} item {i}</a>"
+        if draw(st.booleans()):
+            body += f"<br>snippet {word} text {i}"
+        if draw(st.booleans()):
+            body = body.replace("<a ", "<a style='font-weight:bold' ", 1)
+        items.append(body + "</li>")
+    markup = f"<html><body><ul>{''.join(items)}</ul></body></html>"
+    return render_page(parse_html(markup))
+
+
+def random_block(draw, page):
+    start = draw(st.integers(min_value=0, max_value=len(page.lines) - 1))
+    end = draw(st.integers(min_value=start, max_value=len(page.lines) - 1))
+    return Block(page, start, end)
+
+
+# -- edit distance ----------------------------------------------------------
+
+
+class TestEditDistanceFast:
+    @settings(max_examples=200, deadline=None)
+    @given(sequences, sequences)
+    def test_matches_reference_default_costs(self, s1, s2):
+        assert edit_distance(s1, s2) == edit_distance_reference(s1, s2)
+
+    @settings(max_examples=200, deadline=None)
+    @given(sequences, sequences)
+    def test_matches_reference_custom_cost(self, s1, s2):
+        def cost(a, b):
+            return abs(a - b) / 5.0
+
+        assert edit_distance(s1, s2, substitution_cost=cost) == (
+            edit_distance_reference(s1, s2, substitution_cost=cost)
+        )
+
+    @settings(max_examples=200, deadline=None)
+    @given(sequences, sequences)
+    def test_nonzero_equal_substitution_cost(self, s1, s2):
+        # Equal items may have nonzero substitution cost; trimming must
+        # not fire then (an existing threshold test depends on this).
+        def cost(a, b):
+            return 0.2
+
+        assert edit_distance(s1, s2, substitution_cost=cost) == (
+            edit_distance_reference(s1, s2, substitution_cost=cost)
+        )
+
+    @settings(max_examples=300, deadline=None)
+    @given(sequences, sequences, st.floats(min_value=0.0, max_value=15.0))
+    def test_cutoff_contract(self, s1, s2, cutoff):
+        true = edit_distance_reference(s1, s2)
+        got = edit_distance(s1, s2, cutoff=cutoff)
+        if true < cutoff:
+            # below the threshold the result must be exact
+            assert got == true
+        else:
+            # at/above it only the ">= cutoff" verdict is promised
+            assert got >= cutoff
+
+    def test_trim_only_pays_for_the_difference(self):
+        # A long shared prefix/suffix must not change the score.
+        base = tuple(range(200))
+        edited = base[:100] + (999,) + base[101:]
+        assert edit_distance(base, edited) == 1.0
+
+
+# -- Dtal bitmasks ----------------------------------------------------------
+
+
+class TestAttrMasks:
+    @settings(max_examples=200, deadline=None)
+    @given(attr_sets, attr_sets)
+    def test_masked_distance_equals_frozenset_distance(self, a1, a2):
+        m1 = ATTR_INTERNER.mask(a1)
+        m2 = ATTR_INTERNER.mask(a2)
+        assert masked_attr_distance(m1, m2) == text_attr_distance(a1, a2)
+
+    def test_interner_reuses_masks(self):
+        attrs = frozenset([TextAttr(style="bold")])
+        assert ATTR_INTERNER.mask(attrs) is ATTR_INTERNER.mask(frozenset(attrs))
+
+
+# -- tree / forest memoization ----------------------------------------------
+
+
+class TestForestMemo:
+    @settings(max_examples=100, deadline=None)
+    @given(forests(), forests())
+    def test_matches_reference(self, f1, f2):
+        clear_kernel_caches()
+        assert fast_forest_distance(f1, f2) == forest_distance(f1, f2)
+        # and again, now served from the memo
+        assert fast_forest_distance(f1, f2) == forest_distance(f1, f2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(forests())
+    def test_signature_equality_means_zero(self, f):
+        clone = [OrderedTree.from_tuple(_spec(t)) for t in f]
+        assert forest_signature(f) == forest_signature(clone)
+        assert fast_forest_distance(f, clone) == 0.0
+
+    def test_signature_is_postorder_unique(self):
+        # (a(b c)) vs (a(b(c))): same label multiset, different shape.
+        t1 = OrderedTree.from_tuple(("a", ("b",), ("c",)))
+        t2 = OrderedTree.from_tuple(("a", ("b", ("c",))))
+        assert tree_signature(t1) != tree_signature(t2)
+        assert len(tree_signature(t1)) == t1.size()
+
+    def test_memo_hits_are_counted(self):
+        clear_kernel_caches()
+        f1 = [OrderedTree.from_tuple(("a", ("b",)))]
+        f2 = [OrderedTree.from_tuple(("a", ("c",)))]
+        fast_forest_distance(f1, f2)
+        before = FOREST_MEMO.hits
+        fast_forest_distance(f1, f2)
+        assert FOREST_MEMO.hits == before + 1
+        stats = kernel_cache_stats()
+        assert stats["forest_memo"]["hits"] >= 1
+
+
+def _spec(tree):
+    return (tree.label, *[_spec(c) for c in tree.children])
+
+
+class TestPairMemo:
+    def test_symmetric_lookup(self):
+        memo = PairMemo("t")
+        a, b = ("a",), ("b",)
+        key, found = memo.lookup(a, b)
+        assert found is None
+        memo.store(key, 1.5)
+        key2, found2 = memo.lookup(b, a)
+        assert key2 == key and found2 == 1.5
+        assert memo.hits == 1 and memo.misses == 1
+
+    def test_bounded(self):
+        memo = PairMemo("t", max_entries=2)
+        for i in range(5):
+            key, _ = memo.lookup((i,), (i, i))
+            memo.store(key, float(i))
+        assert len(memo) <= 2
+
+
+# -- feature-layer fast paths -----------------------------------------------
+
+
+class TestFeatureFastPaths:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_record_distance_matches_reference(self, data):
+        page = data.draw(random_page())
+        b1 = random_block(data.draw, page)
+        b2 = random_block(data.draw, page)
+        fast = record_distance(b1, b2, FAST_CONFIG)
+        ref = _record_distance_reference(b1, b2, REFERENCE_CONFIG)
+        assert fast == ref
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_identical_line_fast_path(self, data):
+        page = data.draw(random_page())
+        for line in page.lines:
+            assert line_distance(line, line) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_identical_block_fast_path(self, data):
+        page = data.draw(random_page())
+        block = random_block(data.draw, page)
+        twin = Block(page, block.start, block.end)
+        assert record_distance(block, twin, FAST_CONFIG) == 0.0
+        assert record_distance(block, twin, REFERENCE_CONFIG) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_cached_diversity_matches_formula(self, data):
+        page = data.draw(random_page())
+        cache = RecordDistanceCache(DEFAULT_CONFIG)
+        block = random_block(data.draw, page)
+        expected = record_diversity(block, DEFAULT_CONFIG)
+        assert cache.diversity(block) == expected
+        assert cache.diversity(block) == expected  # memoized second ask
+        assert cache.diversity_hits == 1 and cache.diversity_misses == 1
+        stats = cache.stats()
+        assert stats["diversity_hit_rate"] == 0.5
+        assert stats["diversity_entries"] == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_cohesion_same_with_and_without_cache(self, data):
+        page = data.draw(random_page())
+        blocks = [
+            random_block(data.draw, page)
+            for _ in range(data.draw(st.integers(min_value=1, max_value=3)))
+        ]
+        with_cache = section_cohesion(
+            blocks, DEFAULT_CONFIG, RecordDistanceCache(DEFAULT_CONFIG)
+        )
+        without = section_cohesion(blocks, DEFAULT_CONFIG)
+        assert with_cache == without
+
+    def test_fingerprint_cached_on_block(self):
+        page = render_page(
+            parse_html("<html><body><p>one</p><p>two</p></body></html>")
+        )
+        block = Block(page, 0, len(page.lines) - 1)
+        fp = block_fingerprint(block)
+        assert block_fingerprint(block) is fp
+        assert len(fp.type_codes) == len(block)
+
+
+# -- end to end -------------------------------------------------------------
+
+
+class TestEndToEnd:
+    def test_wrapper_induction_identical_with_fast_kernels(self):
+        from repro.evalkit.harness import evaluate_engine
+        from repro.testbed.corpus import load_engine_pages
+
+        engine_pages = load_engine_pages(83)  # multi-section engine
+        fast = evaluate_engine(engine_pages, MSEConfig(features=FAST_CONFIG))
+        ref = evaluate_engine(engine_pages, MSEConfig(features=REFERENCE_CONFIG))
+        assert fast.rows == ref.rows
+        assert fast.failed == ref.failed
