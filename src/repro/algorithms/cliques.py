@@ -9,19 +9,21 @@ pipeline produces.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple, TypeVar
+
+V = TypeVar("V", bound=Hashable)
 
 
 def maximal_cliques(
-    vertices: Iterable[Hashable],
-    edges: Iterable[Tuple[Hashable, Hashable]],
-) -> List[FrozenSet[Hashable]]:
+    vertices: Iterable[V],
+    edges: Iterable[Tuple[V, V]],
+) -> List[FrozenSet[V]]:
     """Enumerate all maximal cliques of an undirected graph.
 
     Self-loops are ignored.  Isolated vertices are reported as singleton
     cliques (callers that follow the paper filter to size >= 2).
     """
-    adjacency: Dict[Hashable, Set[Hashable]] = {v: set() for v in vertices}
+    adjacency: Dict[V, Set[V]] = {v: set() for v in vertices}
     for u, v in edges:
         if u == v:
             continue
@@ -30,9 +32,9 @@ def maximal_cliques(
     if not adjacency:
         return []
 
-    cliques: List[FrozenSet[Hashable]] = []
+    cliques: List[FrozenSet[V]] = []
 
-    def expand(r: Set[Hashable], p: Set[Hashable], x: Set[Hashable]) -> None:
+    def expand(r: Set[V], p: Set[V], x: Set[V]) -> None:
         if not p and not x:
             cliques.append(frozenset(r))
             return
@@ -48,10 +50,10 @@ def maximal_cliques(
 
 
 def section_instance_groups(
-    vertices: Iterable[Hashable],
-    edges: Iterable[Tuple[Hashable, Hashable]],
+    vertices: Iterable[V],
+    edges: Iterable[Tuple[V, V]],
     min_size: int = 2,
-) -> List[FrozenSet[Hashable]]:
+) -> List[FrozenSet[V]]:
     """Maximal cliques of size >= ``min_size``, largest first.
 
     This is the grouping rule of §5.6: dangling section instances (no

@@ -14,7 +14,19 @@ recursion.  :func:`tree_from_element` adapts a DOM element.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from repro.htmlmod.dom import Element
 
 
 @dataclass
@@ -29,7 +41,7 @@ class OrderedTree:
         return 1 + sum(child.size() for child in self.children)
 
     @classmethod
-    def from_tuple(cls, spec: Tuple) -> "OrderedTree":
+    def from_tuple(cls, spec: Tuple[Any, ...]) -> "OrderedTree":
         """Build from a nested tuple ``(label, child_spec, ...)``.
 
         This is the shape produced by
@@ -42,7 +54,7 @@ class OrderedTree:
         return f"OrderedTree({self.label!r}, n={self.size()})"
 
 
-def tree_from_element(element) -> OrderedTree:
+def tree_from_element(element: "Element") -> OrderedTree:
     """Adapt a :class:`repro.htmlmod.dom.Element` subtree (elements only)."""
     return OrderedTree.from_tuple(element.tag_signature())
 
@@ -74,10 +86,10 @@ class _Annotated:
         visit(root)
         # Keyroots: nodes that are not the leftmost child of their parent,
         # equivalently the highest node for each distinct leftmost leaf.
-        highest = {}
+        highest: Dict[int, int] = {}
         for index in range(len(self.labels)):
             highest[self.lml[index]] = index
-        self.keyroots = sorted(highest.values())
+        self.keyroots: List[int] = sorted(highest.values())
 
 
 UnitCost = Callable[[Optional[str], Optional[str]], float]
@@ -111,7 +123,14 @@ def tree_edit_distance(
     return tree_dist[n1 - 1][n2 - 1]
 
 
-def _forest_distance(a1, a2, kr1: int, kr2: int, cost, tree_dist) -> None:
+def _forest_distance(
+    a1: _Annotated,
+    a2: _Annotated,
+    kr1: int,
+    kr2: int,
+    cost: UnitCost,
+    tree_dist: List[List[float]],
+) -> None:
     l1, l2 = a1.lml[kr1], a2.lml[kr2]
     rows = kr1 - l1 + 2
     cols = kr2 - l2 + 2

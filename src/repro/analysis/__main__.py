@@ -1,0 +1,134 @@
+"""``python -m repro.analysis``: the invariant linter CLI.
+
+Exit codes: 0 — no unsuppressed findings; 1 — findings remain;
+2 — usage error (bad path, bad baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.engine import analyze_paths
+from repro.analysis.findings import Finding
+from repro.analysis.rules import default_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST invariant linter for the MSE pipeline: determinism, "
+            "kernel purity, observer/config threading, API hygiene, "
+            "typing completeness."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings to FILE as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    return parser
+
+
+def _render_text(findings: Sequence[Finding], suppressed: int) -> str:
+    lines = [f.render() for f in findings]
+    summary = f"{len(findings)} finding(s)"
+    if suppressed:
+        summary += f", {suppressed} suppressed by baseline"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_json(findings: Sequence[Finding], suppressed: int) -> str:
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+            "suppressed": suppressed,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    opts = parser.parse_args(argv)
+
+    rules = default_rules()
+    if opts.rules:
+        wanted = {part.strip() for part in opts.rules.split(",") if part.strip()}
+        known = {rule.rule_id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    try:
+        findings = analyze_paths(opts.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if opts.write_baseline:
+        save_baseline(Path(opts.write_baseline), findings)
+        print(
+            f"wrote {len(findings)} finding(s) to {opts.write_baseline}"
+        )
+        return 0
+
+    suppressed = 0
+    if opts.baseline:
+        try:
+            baseline = load_baseline(Path(opts.baseline))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        before = len(findings)
+        findings = apply_baseline(findings, baseline)
+        suppressed = before - len(findings)
+
+    if opts.format == "json":
+        print(_render_json(findings, suppressed))
+    else:
+        print(_render_text(findings, suppressed))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Baselines: a committed ledger of known findings, burned down to zero.
+
+A baseline file records findings by their line-insensitive
+:meth:`~repro.analysis.findings.Finding.suppression_key` so unrelated
+edits above a finding do not invalidate it.  The repository's committed
+``analysis-baseline.json`` is intentionally empty — new findings fail
+CI immediately — but the mechanism exists so a future rule can land
+before its violations are fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+BASELINE_FORMAT = "repro-analysis-baseline"
+BASELINE_VERSION = 1
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the findings as a baseline file (sorted, stable)."""
+    payload = {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "findings": [
+            f.to_dict() for f in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_baseline(path: Path) -> List[Finding]:
+    """Read a baseline file back into findings."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("format") != BASELINE_FORMAT:
+        raise ValueError(f"not a {BASELINE_FORMAT} file: {path}")
+    return [Finding.from_dict(obj) for obj in payload.get("findings", [])]
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Sequence[Finding]
+) -> List[Finding]:
+    """Findings not covered by the baseline, in stable order."""
+    known: Set[Tuple[str, str, str]] = {
+        f.suppression_key() for f in baseline
+    }
+    return [f for f in findings if f.suppression_key() not in known]

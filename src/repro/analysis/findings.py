@@ -1,0 +1,73 @@
+"""Findings: the unit of output of every analysis rule.
+
+A :class:`Finding` pins one rule violation to a file and line.  Findings
+are plain, orderable, hashable data so the engine can sort, deduplicate
+and diff them deterministically — the same properties the pipeline
+demands of its own outputs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        """Stable total order: path, then position, then rule, message."""
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def render(self) -> str:
+        """The one-line ``path:line:col: RULE message`` text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (used by ``--format json`` and baselines)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "Finding":
+        return cls(
+            path=str(obj["path"]),
+            line=int(obj.get("line", 0)),
+            col=int(obj.get("col", 0)),
+            rule=str(obj["rule"]),
+            message=str(obj["message"]),
+        )
+
+    def suppression_key(self) -> Tuple[str, str, str]:
+        """The line-insensitive identity used for baseline matching.
+
+        Baselines must survive unrelated edits above a finding, so the
+        key deliberately omits line and column.
+        """
+        return (self.rule, self.path, self.message)
+
+
+def finding_at(
+    path: str, node: ast.AST, rule: str, message: str
+) -> Finding:
+    """Build a finding from an AST node's location."""
+    return Finding(
+        path=path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        rule=rule,
+        message=message,
+    )

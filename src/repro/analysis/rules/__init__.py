@@ -1,0 +1,40 @@
+"""The rule registry.
+
+Rules run in the order listed here; the order is part of the engine's
+determinism contract (findings are sorted afterwards, so the order only
+matters for reproducible internals, not output).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.config_threading import ConfigThreadingRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.hygiene import ApiHygieneRule
+from repro.analysis.rules.observer import ObserverThreadingRule
+from repro.analysis.rules.purity import KernelPurityRule
+from repro.analysis.rules.typing_gate import TypingGateRule
+
+__all__ = [
+    "ApiHygieneRule",
+    "ConfigThreadingRule",
+    "DeterminismRule",
+    "KernelPurityRule",
+    "ObserverThreadingRule",
+    "TypingGateRule",
+    "default_rules",
+]
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in registry order."""
+    return [
+        DeterminismRule(),
+        KernelPurityRule(),
+        ObserverThreadingRule(),
+        ApiHygieneRule(),
+        ConfigThreadingRule(),
+        TypingGateRule(),
+    ]

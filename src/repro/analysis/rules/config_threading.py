@@ -1,0 +1,50 @@
+"""CFG01: configuration is threaded, never read ambiently.
+
+Every stage receives its ``FeatureConfig``/``MSEConfig`` as a parameter
+(``config=DEFAULT_CONFIG`` as a *default value* is the sanctioned
+spelling).  Reaching for ``DEFAULT_CONFIG`` inside a function body
+instead of the config the caller passed silently ignores the caller's
+weights — the exact bug class this rule exists to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import GATED_PACKAGES
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+_AMBIENT_NAMES = ("DEFAULT_CONFIG",)
+
+
+class ConfigThreadingRule(Rule):
+    rule_id = "CFG01"
+    title = "config threading"
+    invariant = (
+        "FeatureConfig/MSEConfig are passed explicitly; function bodies "
+        "never reach for module-global DEFAULT_CONFIG"
+    )
+    scope = GATED_PACKAGES
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            # Default values live on node.args and stay legal; only the
+            # statements of the body are swept.
+            for stmt in node.body:
+                for inner in ast.walk(stmt):
+                    if (
+                        isinstance(inner, ast.Name)
+                        and isinstance(inner.ctx, ast.Load)
+                        and inner.id in _AMBIENT_NAMES
+                    ):
+                        yield ctx.finding(
+                            inner,
+                            self.rule_id,
+                            f"'{node.name}' reads module-global "
+                            f"'{inner.id}'; use the config parameter the "
+                            "caller passed",
+                        )

@@ -1,0 +1,103 @@
+"""DET01: no nondeterminism in the scoring path.
+
+Parallel evaluation merges per-page observers and tables from worker
+processes; the merge is bit-identical only because nothing in ``core``,
+``features``, ``algorithms`` or ``perf`` consults process state.  This
+rule bans the usual leaks: wall-clock and RNG imports, environment
+reads, ``id()``-derived values (process-dependent), and direct
+iteration over unordered sets.
+
+Process-local memo keys that never cross a process boundary are the one
+sanctioned exception; they carry an inline ``# lint: allow DET01``
+pragma with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.astutil import GATED_PACKAGES, call_name, dotted_name
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: module imports that pull process state into scoring code
+_BANNED_IMPORTS: Set[str] = {"random", "time", "datetime", "uuid", "secrets"}
+
+#: attribute chains that read process state
+_BANNED_ATTRS = ("os.environ",)
+
+#: calls that return unordered collections
+_SET_CONSTRUCTORS: Set[str] = {"set", "frozenset"}
+
+
+def _is_unordered_set(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node) in _SET_CONSTRUCTORS
+    return False
+
+
+class DeterminismRule(Rule):
+    rule_id = "DET01"
+    title = "determinism"
+    invariant = (
+        "scoring code never consults process state: no random/time/"
+        "datetime/uuid/secrets imports, no os.environ, no id()-derived "
+        "values, no direct iteration over unordered sets"
+    )
+    scope = GATED_PACKAGES
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_IMPORTS:
+                        yield ctx.finding(
+                            node,
+                            self.rule_id,
+                            f"import of nondeterministic module '{root}'",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _BANNED_IMPORTS:
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"import from nondeterministic module '{root}'",
+                    )
+            elif isinstance(node, ast.Attribute):
+                chain = dotted_name(node)
+                if chain in _BANNED_ATTRS:
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"process-state read '{chain}'",
+                    )
+            elif isinstance(node, ast.Call):
+                if call_name(node) == "id":
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        "id() is process-dependent; key on interned or "
+                        "content-derived values instead",
+                    )
+            elif isinstance(node, ast.For):
+                if _is_unordered_set(node.iter):
+                    yield ctx.finding(
+                        node.iter,
+                        self.rule_id,
+                        "iteration over an unordered set; wrap in sorted()",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _is_unordered_set(generator.iter):
+                        yield ctx.finding(
+                            generator.iter,
+                            self.rule_id,
+                            "comprehension over an unordered set; wrap in "
+                            "sorted()",
+                        )

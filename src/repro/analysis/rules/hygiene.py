@@ -1,0 +1,153 @@
+"""API01: interface hygiene, everywhere.
+
+Mutable default arguments alias state across calls; bare ``except``
+swallows KeyboardInterrupt and masks real failures; an ``__all__`` that
+names things the module does not define turns ``from x import *`` and
+re-export checks into lies.  Unlike the pipeline rules this one is
+unscoped — hygiene holds for the whole tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.astutil import call_name
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: constructors whose results are mutable
+_MUTABLE_CALLS: Set[str] = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node) in _MUTABLE_CALLS
+    return False
+
+
+def _module_bindings(tree: ast.Module) -> Optional[Set[str]]:
+    """Names bound at module level; None when a ``*`` import hides them."""
+    bound: Set[str] = set()
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            bound.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        bound.add(node.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                bound.add(stmt.target.id)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    return None
+                bound.add(alias.asname or alias.name)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    stack.extend(handler.body)
+                stack.extend(stmt.finalbody)
+        elif isinstance(stmt, (ast.For, ast.While, ast.With)):
+            stack.extend(stmt.body)
+            if isinstance(stmt, (ast.For, ast.While)):
+                stack.extend(stmt.orelse)
+    return bound
+
+
+def _literal_all(stmt: ast.stmt) -> Optional[ast.expr]:
+    """The value of a module-level ``__all__ = [...]`` assignment."""
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return stmt.value
+    if isinstance(stmt, ast.AnnAssign):
+        target = stmt.target
+        if isinstance(target, ast.Name) and target.id == "__all__":
+            return stmt.value
+    return None
+
+
+class ApiHygieneRule(Rule):
+    rule_id = "API01"
+    title = "API hygiene"
+    invariant = (
+        "no mutable default arguments, no bare except, __all__ matches "
+        "the module's actual exports"
+    )
+    scope = None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                defaults = list(node.args.defaults)
+                defaults += [d for d in node.args.kw_defaults if d is not None]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        name = getattr(node, "name", "<lambda>")
+                        yield ctx.finding(
+                            default,
+                            self.rule_id,
+                            f"mutable default argument in '{name}'",
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    "bare except; catch a specific exception type",
+                )
+        yield from self._check_all(ctx)
+
+    def _check_all(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for stmt in ctx.tree.body:
+            value = _literal_all(stmt)
+            if value is None:
+                continue
+            if not isinstance(value, (ast.List, ast.Tuple)):
+                # computed __all__ (e.g. sorted(...)); out of scope
+                continue
+            names: List[str] = []
+            literal = True
+            for element in value.elts:
+                if (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ):
+                    names.append(element.value)
+                else:
+                    literal = False
+            if not literal:
+                continue
+            seen: Set[str] = set()
+            for name in names:
+                if name in seen:
+                    yield ctx.finding(
+                        stmt, self.rule_id,
+                        f"duplicate '{name}' in __all__",
+                    )
+                seen.add(name)
+            bound = _module_bindings(ctx.tree)
+            if bound is None:
+                continue
+            for name in names:
+                if name not in bound:
+                    yield ctx.finding(
+                        stmt,
+                        self.rule_id,
+                        f"__all__ names '{name}' which the module does "
+                        "not define",
+                    )

@@ -1,0 +1,89 @@
+"""OBS01: observers are threaded, never ambient.
+
+PR 1's tracing works because every pipeline stage receives its observer
+explicitly and defaults to the no-op ``NULL_OBSERVER``.  A module-level
+``Observer()`` — or an ``obs`` parameter defaulting to anything else —
+reintroduces hidden global state, breaks per-run trace isolation, and
+makes parallel evaluation merge the wrong spans.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+_OBSERVER_CONSTRUCTORS = ("Observer", "NullObserver")
+
+
+def _obs_defaults(func: ast.AST) -> Iterator[Tuple[ast.arg, ast.AST]]:
+    """``(arg, default)`` pairs for parameters named ``obs``.
+
+    A parameter with no default yields ``(arg, None)``.
+    """
+    args = func.args  # type: ignore[attr-defined]
+    positional: List[ast.arg] = list(getattr(args, "posonlyargs", []))
+    positional += list(args.args)
+    defaults: List[ast.AST] = list(args.defaults)
+    padding = len(positional) - len(defaults)
+    for index, arg in enumerate(positional):
+        if arg.arg != "obs":
+            continue
+        default = defaults[index - padding] if index >= padding else None
+        yield arg, default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if arg.arg == "obs":
+            yield arg, default
+
+
+def _is_null_observer(default: ast.AST) -> bool:
+    return isinstance(default, ast.Name) and default.id == "NULL_OBSERVER"
+
+
+class ObserverThreadingRule(Rule):
+    rule_id = "OBS01"
+    title = "observer threading"
+    invariant = (
+        "pipeline stages take obs=NULL_OBSERVER explicitly; no "
+        "module-level Observer() instances"
+    )
+    scope = ("repro.core",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # Module-level observer instances: scan top-level statements only
+        # (a function may construct one for its own run; a module must not).
+        for stmt in ctx.tree.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _OBSERVER_CONSTRUCTORS
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"module-level {node.func.id}() instance; thread an "
+                        "observer through obs= parameters instead",
+                    )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for arg, default in _obs_defaults(node):
+                if default is None:
+                    yield ctx.finding(
+                        arg,
+                        self.rule_id,
+                        f"'{node.name}' takes obs without a default; "
+                        "use obs=NULL_OBSERVER",
+                    )
+                elif not _is_null_observer(default):
+                    yield ctx.finding(
+                        default,
+                        self.rule_id,
+                        f"'{node.name}' defaults obs to something other "
+                        "than NULL_OBSERVER",
+                    )

@@ -1,0 +1,125 @@
+"""PUR01: kernels in ``repro.perf`` never mutate their arguments.
+
+Interned fingerprints and signatures are shared across every memo table
+and (conceptually) across worker processes; a kernel that mutates an
+argument corrupts every other holder of that object.  Memo classes may
+mutate ``self`` — that is their job — but plain function arguments are
+read-only.  The single sanctioned exception (filling an idempotent
+cache slot on a block) carries an inline pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: method names that mutate their receiver in place
+_MUTATING_METHODS: Set[str] = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+}
+
+_EXEMPT_PARAMS = ("self", "cls")
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base Name of an attribute/subscript chain, if any."""
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _param_names(func: ast.AST) -> Set[str]:
+    args = func.args  # type: ignore[attr-defined]
+    names: Set[str] = set()
+    for arg in list(getattr(args, "posonlyargs", [])) + list(args.args):
+        names.add(arg.arg)
+    for arg in args.kwonlyargs:
+        names.add(arg.arg)
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    names.difference_update(_EXEMPT_PARAMS)
+    return names
+
+
+def _function_body_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """All nodes of a function body, without descending into nested defs."""
+    stack: List[ast.AST] = list(func.body)  # type: ignore[attr-defined]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class KernelPurityRule(Rule):
+    rule_id = "PUR01"
+    title = "kernel purity"
+    invariant = (
+        "functions in repro.perf never mutate their arguments: interned "
+        "fingerprints/signatures are shared by every memo table"
+    )
+    scope = ("repro.perf",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: ModuleContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        params = _param_names(func)
+        if not params:
+            return
+        for node in _function_body_nodes(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                        continue
+                    root = _root_name(target)
+                    if root in params:
+                        yield ctx.finding(
+                            node,
+                            self.rule_id,
+                            f"mutation of argument '{root}' "
+                            "(assignment through attribute/subscript)",
+                        )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                        continue
+                    root = _root_name(target)
+                    if root in params:
+                        yield ctx.finding(
+                            node,
+                            self.rule_id,
+                            f"mutation of argument '{root}' (del)",
+                        )
+            elif isinstance(node, ast.Call):
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                if node.func.attr not in _MUTATING_METHODS:
+                    continue
+                root = _root_name(node.func)
+                if root in params:
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"mutation of argument '{root}' "
+                        f"(.{node.func.attr}() call)",
+                    )

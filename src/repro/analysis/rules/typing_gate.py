@@ -1,0 +1,55 @@
+"""TYP01: the gated packages are fully annotated.
+
+``mypy --strict`` runs in CI, but CI is not the only place code gets
+written.  This rule enforces the part of strictness that matters most
+and needs no third-party tooling: every function in the gated packages
+annotates every parameter and its return type.  (``self``/``cls`` and
+``__init__`` returns are exempt, per convention.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import (
+    GATED_PACKAGES,
+    all_arguments,
+    is_staticmethod,
+    iter_functions,
+)
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+
+class TypingGateRule(Rule):
+    rule_id = "TYP01"
+    title = "typing gate"
+    invariant = (
+        "every function in the gated packages annotates all parameters "
+        "and its return type (strict typing holds without mypy installed)"
+    )
+    scope = GATED_PACKAGES
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func, is_method in iter_functions(ctx.tree):
+            name = func.name  # type: ignore[attr-defined]
+            args = all_arguments(func.args)  # type: ignore[attr-defined]
+            exempt_first = is_method and not is_staticmethod(func)
+            for index, arg in enumerate(args):
+                if exempt_first and index == 0 and arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    yield ctx.finding(
+                        arg,
+                        self.rule_id,
+                        f"parameter '{arg.arg}' of '{name}' is "
+                        "unannotated",
+                    )
+            returns = func.returns  # type: ignore[attr-defined]
+            if returns is None and name != "__init__":
+                yield ctx.finding(
+                    func,
+                    self.rule_id,
+                    f"'{name}' has no return annotation",
+                )

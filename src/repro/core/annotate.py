@@ -67,9 +67,10 @@ def _classify_line(line_text: str, line: Optional[ContentLine], index: int) -> s
     stripped = line_text.strip()
     if not stripped:
         return "meta"
-    if _URL_RE.search(stripped) and len(stripped) <= 120:
+    url_match = _URL_RE.search(stripped)
+    if url_match is not None and len(stripped) <= 120:
         # A line that is mostly a URL is a displayed-URL line.
-        url = _URL_RE.search(stripped).group(0)
+        url = url_match.group(0)
         if len(url) >= 0.6 * len(stripped):
             return "url"
     without_date = _DATE_RE.sub("", stripped)

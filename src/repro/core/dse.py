@@ -30,7 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.mre import TentativeMR
 from repro.features.blocks import Block
-from repro.obs import NULL_OBSERVER
+from repro.obs import NULL_OBSERVER, ObserverLike
 from repro.render.lines import ContentLine, RenderedPage
 from repro.render.linetypes import LineType
 
@@ -268,7 +268,7 @@ def run_dse(
     pages: Sequence[RenderedPage],
     queries: Sequence[str],
     mrs_per_page: Sequence[Sequence[TentativeMR]],
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> Tuple[List[Set[int]], List[List[DynamicSection]]]:
     """The full DSE stage over all sample pages.
 

@@ -33,7 +33,7 @@ from repro.core.wrapper import (
 )
 from repro.features.blocks import Block
 from repro.htmlmod.dom import Element
-from repro.obs import NULL_OBSERVER
+from repro.obs import NULL_OBSERVER, ObserverLike
 from repro.render.lines import RenderedPage
 from repro.render.styles import TextAttr
 from repro.tagpath.paths import MergedTagPath
@@ -236,7 +236,7 @@ def _flexible_key(pref: MergedTagPath, subtree: Element) -> Tuple[int, ...]:
 
 def build_families(
     wrappers: Sequence[SectionWrapper],
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> Tuple[List[SectionFamily], List[SectionWrapper]]:
     """Fold wrappers into Type 1 / Type 2 families where possible (§5.8).
 
@@ -259,7 +259,7 @@ def build_families(
     return families, remaining
 
 
-def _group_key_type1(wrapper: SectionWrapper) -> Tuple:
+def _group_key_type1(wrapper: SectionWrapper) -> Tuple[object, ...]:
     return (
         wrapper.pref.tags,
         wrapper.pref.fixed_counts,
@@ -271,7 +271,7 @@ def _group_key_type1(wrapper: SectionWrapper) -> Tuple:
 def _build_type1(
     wrappers: List[SectionWrapper],
 ) -> Tuple[List[SectionFamily], List[SectionWrapper]]:
-    groups: Dict[Tuple, List[SectionWrapper]] = {}
+    groups: Dict[Tuple[object, ...], List[SectionWrapper]] = {}
     for wrapper in wrappers:
         groups.setdefault(_group_key_type1(wrapper), []).append(wrapper)
 
@@ -307,7 +307,7 @@ def _build_type1(
 def _build_type2(
     wrappers: List[SectionWrapper],
 ) -> Tuple[List[SectionFamily], List[SectionWrapper]]:
-    groups: Dict[Tuple, List[SectionWrapper]] = {}
+    groups: Dict[Tuple[object, ...], List[SectionWrapper]] = {}
     for wrapper in wrappers:
         key = (wrapper.pref.tags, str(wrapper.separator), wrapper.lbm_attrs)
         groups.setdefault(key, []).append(wrapper)

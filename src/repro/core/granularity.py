@@ -32,7 +32,8 @@ from repro.features.blocks import Block
 from repro.features.cohesion import inter_record_distance, section_cohesion
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.features.record_distance import RecordDistanceCache
-from repro.obs import NULL_OBSERVER
+from repro.htmlmod.dom import Element
+from repro.obs import NULL_OBSERVER, ObserverLike
 from repro.render.lines import RenderedPage
 
 
@@ -71,7 +72,7 @@ def _fix_oversized(
     section: SectionInstance,
     config: FeatureConfig,
     cache: RecordDistanceCache,
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> List[SectionInstance]:
     """Oversized-record handling; may split one section into several."""
     records = section.records
@@ -133,7 +134,7 @@ def _fix_split_records(
     section: SectionInstance,
     config: FeatureConfig,
     cache: RecordDistanceCache,
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> None:
     """Try coarser partitions (combine k consecutive records) in place."""
     records = section.records
@@ -169,7 +170,7 @@ def _merge_sibling_singletons(
     sections: List[SectionInstance],
     config: FeatureConfig,
     cache: RecordDistanceCache,
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> List[SectionInstance]:
     """Consecutive sibling one-record sections -> one section (§5.5 end)."""
     out: List[SectionInstance] = []
@@ -199,7 +200,9 @@ def _merge_sibling_singletons(
     return out
 
 
-def _outermost_exact(page: RenderedPage, start: int, end: int):
+def _outermost_exact(
+    page: RenderedPage, start: int, end: int
+) -> Optional[Element]:
     """The highest element whose rendered lines are exactly ``start..end``.
 
     The minimum subtree of a one-record section may sit several wrappers
@@ -233,7 +236,7 @@ def resolve_granularity(
     sections: Sequence[SectionInstance],
     config: FeatureConfig = DEFAULT_CONFIG,
     cache: Optional[RecordDistanceCache] = None,
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> List[SectionInstance]:
     """Run the full §5.5 pass over one page's sections (in page order)."""
     if cache is None:

@@ -12,14 +12,15 @@ schema.  Instances that match nothing on any other page are dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.cliques import section_instance_groups
 from repro.algorithms.stable_marriage import stable_match
 from repro.algorithms.tree_edit import forest_distance
 from repro.core.model import SectionInstance
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
-from repro.obs import NULL_OBSERVER
+from repro.obs import NULL_OBSERVER, ObserverLike
+from repro.render.lines import ContentLine
 from repro.tagpath.paths import TagPath
 
 #: Minimum matching score for two instances to be considered the same
@@ -63,7 +64,9 @@ def _sbm_similarity(s1: SectionInstance, s2: SectionInstance) -> float:
     10), so disagreement is penalized rather than merely unrewarded.
     """
 
-    def marker_sim(line1, line2) -> float:
+    def marker_sim(
+        line1: Optional[ContentLine], line2: Optional[ContentLine]
+    ) -> float:
         if line1 is None and line2 is None:
             return 0.5  # both unmarked: weak evidence either way
         if line1 is None or line2 is None:
@@ -113,7 +116,7 @@ class InstanceGroup:
 def group_section_instances(
     sections_per_page: Sequence[Sequence[SectionInstance]],
     threshold: float = MATCH_THRESHOLD,
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> List[InstanceGroup]:
     """Cluster section instances into schema groups (§5.6).
 
@@ -149,8 +152,8 @@ def group_section_instances(
         members = sorted(clique)
         # One instance per page: a merged group can briefly hold two
         # same-page instances; keep the earliest (document order) per page.
-        seen_pages = set()
-        unique = []
+        seen_pages: Set[int] = set()
+        unique: List[Tuple[int, int]] = []
         for page_index, section_index in members:
             if page_index in seen_pages:
                 continue
@@ -173,7 +176,9 @@ def group_section_instances(
     return groups
 
 
-def _merge_overlapping_cliques(cliques):
+def _merge_overlapping_cliques(
+    cliques: Sequence[FrozenSet[Tuple[int, int]]],
+) -> List[Set[Tuple[int, int]]]:
     """Union maximal cliques that share an instance.
 
     When a schema's instances vary (boundary noise on some pages), the
@@ -182,10 +187,10 @@ def _merge_overlapping_cliques(cliques):
     which would become duplicate wrappers.  Cliques sharing a vertex are
     merged back into one instance group.
     """
-    merged: List[set] = []
+    merged: List[Set[Tuple[int, int]]] = []
     for clique in cliques:
         group = set(clique)
-        absorbed = []
+        absorbed: List[Set[Tuple[int, int]]] = []
         for existing in merged:
             if existing & group:
                 group |= existing

@@ -21,7 +21,7 @@ from repro.features.cohesion import best_partition
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.features.record_distance import RecordDistanceCache
 from repro.htmlmod.dom import Element
-from repro.obs import NULL_OBSERVER
+from repro.obs import NULL_OBSERVER, ObserverLike
 from repro.render.linetypes import LineType
 
 #: Line types that can plausibly open a record (shared with MRE).
@@ -130,7 +130,7 @@ def mine_records(
     block: Block,
     config: FeatureConfig = DEFAULT_CONFIG,
     cache: Optional[RecordDistanceCache] = None,
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> List[Block]:
     """Partition a DS block into records (§5.4).
 

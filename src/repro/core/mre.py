@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.features.blocks import Block
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.features.record_distance import RecordDistanceCache
-from repro.render.lines import RenderedPage
+from repro.render.lines import ContentLine, RenderedPage
 from repro.render.linetypes import LineType
 
 
@@ -85,7 +85,7 @@ MIN_RECORDS = 3
 OVERLAP_FRACTION = 0.5
 
 
-def _signature(line) -> Tuple[LineType, int]:
+def _signature(line: ContentLine) -> Tuple[LineType, int]:
     return (line.line_type, line.position)
 
 
@@ -216,7 +216,7 @@ def _best_of_group(
 ) -> TentativeMR:
     """Wrapper-selection rule: most records, then tightest, then widest."""
 
-    def score(mr: TentativeMR) -> Tuple:
+    def score(mr: TentativeMR) -> Tuple[int, float, int]:
         return (len(mr.records), -mr.internal_distance(cache), mr.span)
 
     return max(group, key=score)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.dse import DynamicSection, run_dse
 from repro.core.family import SectionFamily, build_families
@@ -35,7 +35,7 @@ from repro.features.blocks import Block
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.features.record_distance import RecordDistanceCache
 from repro.htmlmod.parser import parse_html
-from repro.obs import NULL_OBSERVER
+from repro.obs import NULL_OBSERVER, ObserverLike
 from repro.perf.kernels import observe_kernel_gauges
 from repro.render.layout import render_page
 from repro.render.lines import RenderedPage
@@ -82,7 +82,7 @@ class MSE:
     """Multiple Section Extraction: builds wrappers from sample pages."""
 
     def __init__(
-        self, config: Optional[MSEConfig] = None, obs=NULL_OBSERVER
+        self, config: Optional[MSEConfig] = None, obs: ObserverLike = NULL_OBSERVER
     ) -> None:
         self.config = config or MSEConfig()
         self.obs = obs if obs is not None else NULL_OBSERVER
@@ -212,7 +212,7 @@ class MSE:
         pages: Sequence[RenderedPage],
         mrs_per_page: Sequence[List[TentativeMR]],
         dss_per_page: Sequence[List[DynamicSection]],
-        csbms_per_page: Sequence,
+        csbms_per_page: Sequence[Set[int]],
         caches: Sequence[RecordDistanceCache],
     ) -> Tuple[List[List[SectionInstance]], List[List[DynamicSection]]]:
         """§5.3 refinement (or the ablation bypass) for every page."""
@@ -340,7 +340,7 @@ class MSE:
 def build_wrapper(
     samples: Sequence[SampleInput],
     config: Optional[MSEConfig] = None,
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> EngineWrapper:
     """Convenience one-shot wrapper induction (see :class:`MSE`)."""
     return MSE(config, obs=obs).build_wrapper(samples)

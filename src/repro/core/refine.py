@@ -34,7 +34,7 @@ from repro.features.blocks import Block
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.features.cohesion import inter_record_distance
 from repro.features.record_distance import RecordDistanceCache
-from repro.obs import NULL_OBSERVER
+from repro.obs import NULL_OBSERVER, ObserverLike
 from repro.render.lines import RenderedPage
 
 
@@ -178,7 +178,7 @@ def refine_page(
     csbms: Set[int],
     config: FeatureConfig = DEFAULT_CONFIG,
     cache: Optional[RecordDistanceCache] = None,
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> RefineResult:
     """Run the §5.3 refinement over one page's MRs and DSs."""
     if cache is None:

@@ -14,7 +14,7 @@ guessing.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, FrozenSet, Iterable, List
 
 from repro.core.family import SectionFamily, Type1Family, Type2Family
 from repro.core.wrapper import EngineWrapper, SectionWrapper, SeparatorRule
@@ -42,7 +42,7 @@ def _attr_to_obj(attr: TextAttr) -> Dict[str, Any]:
     }
 
 
-def _attrs_to_obj(attrs) -> List[Dict[str, Any]]:
+def _attrs_to_obj(attrs: Iterable[TextAttr]) -> List[Dict[str, Any]]:
     return [_attr_to_obj(a) for a in sorted(attrs, key=str)]
 
 
@@ -111,7 +111,7 @@ def _attr_from_obj(obj: Dict[str, Any]) -> TextAttr:
     )
 
 
-def _attrs_from_obj(items) -> frozenset:
+def _attrs_from_obj(items: Iterable[Dict[str, Any]]) -> FrozenSet[TextAttr]:
     return frozenset(_attr_from_obj(o) for o in items)
 
 

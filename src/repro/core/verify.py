@@ -22,17 +22,15 @@ Checks, each contributing to a [0, 1] health score:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple, Union
 
 from repro.core.dse import clean_page_lines
 from repro.core.wrapper import EngineWrapper, apply_section_wrapper
-from repro.features.blocks import Block
 from repro.features.cohesion import inter_record_distance
-from repro.features.config import DEFAULT_CONFIG
 from repro.features.record_distance import RecordDistanceCache
 from repro.htmlmod.dom import Document
 from repro.htmlmod.parser import parse_html
-from repro.obs import NULL_OBSERVER
+from repro.obs import NULL_OBSERVER, ObserverLike
 from repro.render.layout import render_page
 
 #: mean Drec above which a section's records no longer cohere
@@ -137,7 +135,10 @@ class WrapperHealth:
 
 
 def check_wrapper(
-    engine: EngineWrapper, markup_or_document, query: str = "", obs=NULL_OBSERVER
+    engine: EngineWrapper,
+    markup_or_document: Union[str, Document],
+    query: str = "",
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> WrapperHealth:
     """Assess wrapper health against one result page.
 
@@ -153,7 +154,7 @@ def check_wrapper(
         page = render_page(document)
         clean_page_lines(page, query.split())
 
-        cache = RecordDistanceCache(DEFAULT_CONFIG)
+        cache = RecordDistanceCache(engine.config)
         outcomes: List[SectionHealth] = []
         for wrapper in engine.wrappers:
             instance = apply_section_wrapper(wrapper, page)
@@ -163,7 +164,7 @@ def check_wrapper(
                 )
                 continue
             homogeneity = inter_record_distance(
-                instance.records, DEFAULT_CONFIG, cache
+                instance.records, engine.config, cache
             )
             outcomes.append(
                 SectionHealth(

@@ -19,7 +19,17 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.core.dse import clean_page_lines
 from repro.core.grouping import InstanceGroup
@@ -35,11 +45,14 @@ from repro.features.blocks import Block
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.htmlmod.dom import Document, Element
 from repro.htmlmod.parser import parse_html
-from repro.obs import NULL_OBSERVER
+from repro.obs import NULL_OBSERVER, ObserverLike
 from repro.render.layout import render_page
-from repro.render.lines import RenderedPage
+from repro.render.lines import ContentLine, RenderedPage
 from repro.render.styles import TextAttr
 from repro.tagpath.paths import MergedTagPath, TagPath
+
+if TYPE_CHECKING:
+    from repro.core.family import SectionFamily
 
 #: How far a fixed pref level may drift on an unseen page (S steps).
 POSITION_SLACK = 2
@@ -115,7 +128,7 @@ def build_section_wrapper(
     group: InstanceGroup,
     schema_id: str,
     config: FeatureConfig = DEFAULT_CONFIG,
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> Optional[SectionWrapper]:
     """Build a wrapper from one section instance group (§5.7).
 
@@ -323,7 +336,7 @@ def _bound_by_markers(
     rbm: Optional[int] = end + 1 if end + 1 < len(page.lines) else None
     hits = 0
 
-    def text_key(line) -> str:
+    def text_key(line: ContentLine) -> str:
         return line.cleaned or line.text.lower()
 
     if wrapper.lbm_texts:
@@ -357,7 +370,7 @@ class EngineWrapper:
         config: FeatureConfig = DEFAULT_CONFIG,
     ) -> None:
         self.wrappers: List[SectionWrapper] = list(wrappers)
-        self.families = list(families)
+        self.families: List["SectionFamily"] = list(families)
         self.config = config
 
     def __repr__(self) -> str:
@@ -368,7 +381,10 @@ class EngineWrapper:
 
     # -- application ------------------------------------------------------
     def extract(
-        self, markup_or_document, query: str = "", obs=NULL_OBSERVER
+        self,
+        markup_or_document: Union[str, Document],
+        query: str = "",
+        obs: ObserverLike = NULL_OBSERVER,
     ) -> PageExtraction:
         """Extract all dynamic sections and their records from a page.
 

@@ -33,7 +33,7 @@ from repro.evalkit.report import (
     render_record_table,
     render_section_table,
 )
-from repro.obs import NULL_OBSERVER, Observer, render_report
+from repro.obs import NULL_OBSERVER, Observer, ObserverLike, render_report
 from repro.testbed.corpus import (
     SAMPLE_PAGES,
     EnginePages,
@@ -75,7 +75,7 @@ def _engine_metadata(engine_pages: EnginePages) -> dict:
 def evaluate_engine(
     engine_pages: EnginePages,
     config: Optional[MSEConfig] = None,
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
 ) -> EngineResult:
     """Build a wrapper from the sample pages and grade all ten pages.
 
@@ -295,7 +295,7 @@ def run_evaluation(
     limit: Optional[int] = None,
     config: Optional[MSEConfig] = None,
     progress: bool = False,
-    obs=NULL_OBSERVER,
+    obs: ObserverLike = NULL_OBSERVER,
     jobs: int = 1,
 ) -> EvaluationRun:
     """Evaluate MSE over (a subset of) the corpus.

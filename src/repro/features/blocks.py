@@ -9,12 +9,15 @@ forest underneath it.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.algorithms.tree_edit import OrderedTree
 from repro.render.lines import ContentLine, RenderedPage
 from repro.render.linetypes import LineType
 from repro.render.styles import TextAttr
+
+if TYPE_CHECKING:
+    from repro.perf.fingerprints import BlockFingerprint
 
 
 class Block:
@@ -32,7 +35,7 @@ class Block:
         self.end = end
         self._forest: Optional[List[OrderedTree]] = None
         #: lazily filled by repro.perf.fingerprints.block_fingerprint
-        self._fp = None
+        self._fp: Optional["BlockFingerprint"] = None
 
     # -- identity -----------------------------------------------------------
     def __len__(self) -> int:
@@ -47,7 +50,7 @@ class Block:
         )
 
     def __hash__(self) -> int:
-        return hash((id(self.page), self.start, self.end))
+        return hash((id(self.page), self.start, self.end))  # lint: allow DET01 -- hashes are process-local by definition
 
     def __repr__(self) -> str:
         return f"Block[{self.start}..{self.end}]"

@@ -21,6 +21,7 @@ from repro.obs.trace import (
     NULL_OBSERVER,
     NullObserver,
     Observer,
+    ObserverLike,
     SpanNode,
     read_jsonl,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "NULL_OBSERVER",
     "NullObserver",
     "Observer",
+    "ObserverLike",
     "SpanNode",
     "read_jsonl",
     "render_metrics",

@@ -25,12 +25,45 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Callable, Dict, IO, Iterator, List, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    ContextManager,
+    Dict,
+    IO,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Union,
+)
 
 from repro.obs.metrics import MetricsRegistry, Number
 
 TRACE_FORMAT = "repro-obs-trace"
 TRACE_VERSION = 1
+
+
+class ObserverLike(Protocol):
+    """The structural type every ``obs=`` parameter accepts.
+
+    Both :class:`Observer` and :class:`NullObserver` satisfy it, as does
+    any test double exposing the same four methods plus ``enabled``.
+    """
+
+    enabled: bool
+
+    def span(self, name: str) -> ContextManager[Any]:
+        ...
+
+    def count(self, name: str, amount: Number = 1) -> None:
+        ...
+
+    def gauge(self, name: str, value: Number) -> None:
+        ...
+
+    def observe(self, name: str, seconds: float) -> None:
+        ...
 
 
 class _NullSpan:

@@ -22,10 +22,16 @@ codes, tag structures) are tiny compared to the number of comparisons.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Tuple
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Iterable, Tuple
 
-from repro.algorithms.tree_edit import tree_signature
+from repro.algorithms.tree_edit import OrderedTree, tree_signature
 from repro.render.styles import TextAttr
+
+if TYPE_CHECKING:
+    from repro.features.blocks import Block
+
+#: an interned immutable value (type codes, shapes, forest signatures)
+Interned = Tuple[Any, ...]
 
 try:  # Python >= 3.10
     _popcount = int.bit_count
@@ -96,9 +102,9 @@ class TupleInterner:
     __slots__ = ("_seen",)
 
     def __init__(self) -> None:
-        self._seen: Dict[tuple, tuple] = {}
+        self._seen: Dict[Interned, Interned] = {}
 
-    def intern(self, value: tuple) -> tuple:
+    def intern(self, value: Interned) -> Interned:
         return self._seen.setdefault(value, value)
 
     def __len__(self) -> int:
@@ -136,11 +142,11 @@ class BlockFingerprint:
 
     def __init__(
         self,
-        type_codes: tuple,
-        shape: tuple,
+        type_codes: Interned,
+        shape: Interned,
         position: int,
         attr_masks: Tuple[AttrMask, ...],
-        forest_sig: tuple,
+        forest_sig: Interned,
     ) -> None:
         self.type_codes = type_codes
         self.shape = shape
@@ -176,18 +182,18 @@ class BlockFingerprint:
         )
 
 
-def interned_forest_signature(forest) -> tuple:
+def interned_forest_signature(forest: Iterable[OrderedTree]) -> Interned:
     """Forest signature with every level interned (identity-stable)."""
     intern = TUPLE_INTERNER.intern
     return intern(tuple(intern(tree_signature(tree)) for tree in forest))
 
 
-def block_fingerprint(block) -> BlockFingerprint:
+def block_fingerprint(block: "Block") -> BlockFingerprint:
     """The (cached) fingerprint of a :class:`repro.features.blocks.Block`."""
     fp = block._fp
     if fp is None:
         intern = TUPLE_INTERNER.intern
-        fp = block._fp = BlockFingerprint(
+        fp = block._fp = BlockFingerprint(  # lint: allow PUR01 -- idempotent fill of the block's own cache slot
             type_codes=intern(block.type_codes),
             shape=intern(block.shape),
             position=block.position,

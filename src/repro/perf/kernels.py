@@ -25,9 +25,11 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.algorithms.string_edit import normalized_edit_distance
 from repro.algorithms.tree_edit import OrderedTree, tree_edit_distance
+from repro.obs import ObserverLike
 from repro.perf.fingerprints import (
     ATTR_INTERNER,
     TUPLE_INTERNER,
+    Interned,
     interned_forest_signature,
 )
 
@@ -54,7 +56,9 @@ class PairMemo:
 
     def lookup(self, sig1: Any, sig2: Any) -> Tuple[Tuple[Any, Any], Optional[float]]:
         """Canonical key for the pair plus the memoized value, if any."""
-        key = (sig1, sig2) if id(sig1) <= id(sig2) else (sig2, sig1)
+        # Canonical order by object identity: valid because signatures
+        # are interned (equal => identical) and the memo is process-local.
+        key = (sig1, sig2) if id(sig1) <= id(sig2) else (sig2, sig1)  # lint: allow DET01 -- process-local memo key
         found = self._table.get(key)
         if found is None:
             self.misses += 1
@@ -105,7 +109,7 @@ class SignedTree:
 
     __slots__ = ("tree", "sig")
 
-    def __init__(self, tree: OrderedTree, sig: tuple) -> None:
+    def __init__(self, tree: OrderedTree, sig: Interned) -> None:
         self.tree = tree
         self.sig = sig
 
@@ -141,8 +145,8 @@ def fast_normalized_tree_distance(tree1: SignedTree, tree2: SignedTree) -> float
 def fast_forest_distance(
     forest1: Sequence[OrderedTree],
     forest2: Sequence[OrderedTree],
-    sig1: Optional[tuple] = None,
-    sig2: Optional[tuple] = None,
+    sig1: Optional[Interned] = None,
+    sig2: Optional[Interned] = None,
 ) -> float:
     """Memoized normalized tag-forest distance (paper §4.1).
 
@@ -187,7 +191,7 @@ def clear_kernel_caches() -> None:
     TUPLE_INTERNER.clear()
 
 
-def observe_kernel_gauges(obs) -> None:
+def observe_kernel_gauges(obs: ObserverLike) -> None:
     """Export the kernel cache stats as ``perf.<cache>.<stat>`` gauges."""
     for cache, stats in kernel_cache_stats().items():
         for stat, value in stats.items():
