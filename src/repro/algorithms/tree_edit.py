@@ -163,15 +163,17 @@ def _forest_distance(
 def normalized_tree_distance(tree1: OrderedTree, tree2: OrderedTree) -> float:
     """Tree edit distance normalized by the larger tree's size (paper §4.1).
 
-    Always in [0, 1] with unit costs: the distance between two trees never
-    exceeds max(size1, size2) because deleting all of one and inserting all
-    of the other costs size1 + size2, while relabelling caps the total at
-    the larger size.
+    Clamped to [0, 1]: with unit costs the distance usually stays below
+    max(size1, size2), but ancestry constraints can force delete+insert
+    pairs where a relabel is impossible, pushing the raw ratio past 1
+    (two same-size trees can differ by more than their size).  Callers
+    treat this as a bounded dissimilarity score, so those structurally
+    disjoint pairs saturate at 1.
     """
     larger = max(tree1.size(), tree2.size())
     if larger == 0:
         return 0.0
-    return tree_edit_distance(tree1, tree2) / larger
+    return min(1.0, tree_edit_distance(tree1, tree2) / larger)
 
 
 TreeSignature = Tuple[Tuple[str, int], ...]

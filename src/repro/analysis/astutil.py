@@ -12,6 +12,7 @@ GATED_PACKAGES: Tuple[str, ...] = (
     "repro.features",
     "repro.algorithms",
     "repro.perf",
+    "repro.pipeline",
 )
 
 def dotted_name(node: ast.AST) -> Optional[str]:

@@ -19,9 +19,10 @@ from repro.core.wrapper import EngineWrapper
 class SingleSectionMSE(MSE):
     """MSE restricted to the single main section (ViNTs behaviour)."""
 
-    def analyze_pages(self, prepared) -> List[List]:
-        sections_per_page = super().analyze_pages(prepared)
-        reduced = []
+    def select_sections(self, sections_per_page: List[List]) -> List[List]:
+        # The pipeline's select hook (between per-page analysis and
+        # cross-page grouping): keep only each page's main section.
+        reduced: List[List] = []
         for sections in sections_per_page:
             if sections:
                 main = max(

@@ -1,6 +1,7 @@
 """Command-line interface.
 
     python -m repro induce  -o wrapper.json page1.html:query1 page2.html:query2 ...
+                    [--jobs N] [--checkpoint-dir DIR] [--resume]
     python -m repro extract -w wrapper.json page.html [--query "..."] [--json]
     python -m repro check   -w wrapper.json page.html [--query "..."]
     python -m repro eval    [--table 1|2|3|all] [--limit N] [--jobs N]
@@ -12,6 +13,12 @@ saved wrapper to a page and prints sections/records (or JSON);
 ``check`` reports wrapper health (drift detection); ``eval`` regenerates
 the paper's tables on the synthetic corpus; ``demo`` runs a full
 induce-and-extract round trip against one synthetic engine.
+
+``induce --jobs N`` fans the per-page pipeline stages out over worker
+processes; ``--checkpoint-dir DIR`` persists every stage's artifacts as
+JSON, and ``--resume`` reuses them on a later run, recomputing only
+missing stages and their dependents (see ``repro.pipeline``).  All
+variants produce byte-identical wrapper JSON.
 
 ``induce``, ``extract``, ``check`` and ``eval`` accept ``--trace FILE``
 (write a JSONL pipeline trace: one span per stage with wall time and
@@ -52,9 +59,16 @@ def _split_page_arg(arg: str) -> Tuple[str, str]:
     return arg, ""
 
 
+class _PageReadError(Exception):
+    """A page file could not be read (missing, unreadable, not text)."""
+
+
 def _read(path: str) -> str:
-    with open(path, "r", encoding="utf-8") as handle:
-        return handle.read()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        raise _PageReadError(f"cannot read page file {path!r}: {exc}") from exc
 
 
 def _observer_for(args):
@@ -82,8 +96,17 @@ def cmd_induce(args) -> int:
     if len(samples) < 2:
         print("induce: need at least two sample pages", file=sys.stderr)
         return 2
+    if args.resume and not args.checkpoint_dir:
+        print("induce: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     obs = _observer_for(args)
-    wrapper = build_wrapper(samples, obs=obs)
+    wrapper = build_wrapper(
+        samples,
+        obs=obs,
+        jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     save_wrapper(wrapper, args.output)
     print(
         f"wrote {args.output}: {len(wrapper.wrappers)} section schema(s), "
@@ -203,6 +226,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_induce = sub.add_parser("induce", help="build a wrapper from sample pages")
     p_induce.add_argument("pages", nargs="+", help="page.html[:query terms]")
     p_induce.add_argument("-o", "--output", required=True, help="wrapper JSON path")
+    p_induce.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for per-page pipeline stages (1 = serial)",
+    )
+    p_induce.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="persist per-stage artifacts to DIR (JSON checkpoints)",
+    )
+    p_induce.add_argument(
+        "--resume", action="store_true",
+        help="reuse artifacts in --checkpoint-dir; recompute only missing "
+        "stages (and their dependents, e.g. after adding sample pages)",
+    )
     _add_obs_flags(p_induce)
     p_induce.set_defaults(func=cmd_induce)
 
@@ -241,7 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except _PageReadError as exc:
+        print(f"{args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -153,6 +153,30 @@ def mine_records(
     return best_partition(candidates, config, cache)
 
 
+def mine_block(
+    block: Block,
+    strategy: str,
+    config: FeatureConfig = DEFAULT_CONFIG,
+    cache: Optional[RecordDistanceCache] = None,
+    obs: ObserverLike = NULL_OBSERVER,
+) -> List[Block]:
+    """Mining-strategy dispatch used by the pipeline's mine stage.
+
+    ``strategy`` is :attr:`repro.core.mse_config.MSEConfig.mining_strategy`:
+    ``"cohesion"`` runs the paper's Formula-7 miner (:func:`mine_records`);
+    ``"per-child"`` is the ablation heuristic that takes the finest tag
+    partition with no cohesion scoring.  A degenerate block that yields no
+    candidate partitions falls back to the whole block as one record
+    rather than crashing on ``max()`` of an empty sequence.
+    """
+    if strategy == "per-child":
+        candidates = candidate_partitions(block, config)
+        if not candidates:
+            return [block]
+        return max(candidates, key=len)
+    return mine_records(block, config, cache, obs=obs)
+
+
 def _has_start_evidence(partition: Sequence[Block]) -> bool:
     """Uniform starts, allowing the first record to be an outlier.
 

@@ -8,61 +8,46 @@ dynamic sections and their records from any result page of that engine.
     >>> wrapper = build_wrapper([(html1, "query one"), (html2, "query two")])
     >>> extraction = wrapper.extract(new_html, "another query")
 
-The pipeline runs as explicit *stages*, each wrapped in an observability
-span (``render``, ``mre``, ``dse``, ``refine``, ``mine``,
-``granularity``, ``grouping``, ``wrapper``, ``families`` — see
-``repro.obs``).  Pass an :class:`repro.obs.Observer` to attribute wall
-time and stage counters; the default :data:`~repro.obs.NULL_OBSERVER`
-makes every probe a no-op.
+Since the staged refactor, this class is a façade over
+:mod:`repro.pipeline`: the steps are :class:`~repro.pipeline.Stage`
+objects executed by a :class:`~repro.pipeline.PipelineRunner` on one
+:class:`~repro.pipeline.InductionContext`.  That buys, with no API
+change here:
+
+- ``jobs=N`` — per-page stages (MRE, refinement, mining, granularity)
+  fan out over a process pool; cross-page barriers (DSE, grouping,
+  wrapper construction, families) stay serial.  Wrappers are
+  bit-identical to a serial run.
+- ``checkpoint_dir=...`` / ``resume=True`` — every stage's artifacts are
+  persisted as JSON and a resumed run recomputes only missing stages
+  (and their dependents), including after adding sample pages.
+
+Each stage runs in an observability span (``render``, ``mre``, ``dse``,
+``refine``, ``mine``, ``granularity``, ``grouping``, ``wrapper``,
+``families`` — see ``repro.obs``).  Pass an :class:`repro.obs.Observer`
+to attribute wall time and stage counters; the default
+:data:`~repro.obs.NULL_OBSERVER` makes every probe a no-op.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-from repro.core.dse import DynamicSection, run_dse
-from repro.core.family import SectionFamily, build_families
-from repro.core.granularity import resolve_granularity
-from repro.core.grouping import MATCH_THRESHOLD, group_section_instances
-from repro.core.mining import mine_records
+from repro.core.mining import mine_block
 from repro.core.model import SectionInstance
-from repro.core.mre import TentativeMR, extract_mrs
-from repro.core.refine import refine_page
-from repro.core.wrapper import EngineWrapper, SectionWrapper, build_section_wrapper
+from repro.core.mse_config import MSEConfig
+from repro.core.wrapper import EngineWrapper
 from repro.features.blocks import Block
-from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.features.record_distance import RecordDistanceCache
 from repro.htmlmod.parser import parse_html
 from repro.obs import NULL_OBSERVER, ObserverLike
 from repro.perf.kernels import observe_kernel_gauges
+from repro.pipeline.context import InductionContext, SampleInput
 from repro.render.layout import render_page
 from repro.render.lines import RenderedPage
 
-
-@dataclass(frozen=True)
-class MSEConfig:
-    """Configuration of the MSE pipeline.
-
-    The boolean switches exist for the ablation benches; the paper's full
-    system corresponds to the defaults.
-    """
-
-    features: FeatureConfig = DEFAULT_CONFIG
-    #: stable-marriage no-match threshold for instance grouping (§5.6)
-    match_threshold: float = MATCH_THRESHOLD
-    #: build section families for hidden sections (§5.8)
-    use_families: bool = True
-    #: run MR/DS refinement (§5.3); off = trust raw MRs and mine raw DSs
-    use_refinement: bool = True
-    #: run the granularity pass (§5.5)
-    use_granularity: bool = True
-    #: 'cohesion' (Formula 7, §5.4) or 'per-child' (plain tag heuristics)
-    mining_strategy: str = "cohesion"
-
-
-SampleInput = Union[str, Tuple[str, str]]
+__all__ = ["MSE", "MSEConfig", "SampleInput", "build_wrapper"]
 
 
 @dataclass
@@ -71,21 +56,22 @@ class _PreparedPage:
     query: str
 
 
-def _cache_totals(caches: Sequence[RecordDistanceCache]) -> Tuple[int, int]:
-    return (
-        sum(cache.hits for cache in caches),
-        sum(cache.misses for cache in caches),
-    )
-
-
 class MSE:
     """Multiple Section Extraction: builds wrappers from sample pages."""
 
     def __init__(
-        self, config: Optional[MSEConfig] = None, obs: ObserverLike = NULL_OBSERVER
+        self,
+        config: Optional[MSEConfig] = None,
+        obs: ObserverLike = NULL_OBSERVER,
+        jobs: int = 1,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
     ) -> None:
         self.config = config or MSEConfig()
         self.obs = obs if obs is not None else NULL_OBSERVER
+        self.jobs = max(1, jobs)
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
 
     # -- public API -----------------------------------------------------
     def build_wrapper(self, samples: Sequence[SampleInput]) -> EngineWrapper:
@@ -95,41 +81,28 @@ class MSE:
         at least two samples are required (section instances must be
         certified by a match on another page, §5.6).
         """
-        obs = self.obs
-        with obs.span("render"):
-            prepared = self._prepare(samples)
-            obs.count("render.pages", len(prepared))
-            obs.count(
-                "render.lines", sum(len(item.page.lines) for item in prepared)
-            )
-        if len(prepared) < 2:
+        from repro.pipeline import (
+            ArtifactStore,
+            PipelineRunner,
+            induction_stages,
+        )
+
+        if len(samples) < 2:
             raise ValueError("MSE needs at least two sample pages")
+        ctx = InductionContext.from_samples(samples, self.config, self.obs)
 
-        sections_per_page = self.analyze_pages(prepared)
-
-        with obs.span("grouping"):
-            groups = group_section_instances(
-                sections_per_page, threshold=self.config.match_threshold, obs=obs
-            )
-
-        with obs.span("wrapper"):
-            wrappers: List[SectionWrapper] = []
-            for index, group in enumerate(groups):
-                wrapper = build_section_wrapper(
-                    group, schema_id=f"S{index}", config=self.config.features, obs=obs
+        store = None
+        if self.checkpoint_dir is not None:
+            ids = ctx.page_ids()
+            if ids is not None:
+                store = ArtifactStore.open(
+                    self.checkpoint_dir, self.config, ids, resume=self.resume
                 )
-                if wrapper is not None:
-                    wrappers.append(wrapper)
-            obs.count("wrapper.schemas", len(wrappers))
-
-        families: List[SectionFamily] = []
-        with obs.span("families"):
-            if self.config.use_families:
-                families, _leftover = build_families(wrappers, obs=obs)
-                # All wrappers stay available: at extraction time a member
-                # wrapper runs only when its family did not locate it.
-            obs.count("families.built", len(families))
-        return EngineWrapper(wrappers, families, self.config.features)
+        runner = PipelineRunner(jobs=self.jobs, store=store)
+        runner.run(ctx, induction_stages(self.select_sections))
+        self._observe_run(ctx)
+        engine: EngineWrapper = ctx.engine
+        return engine
 
     # -- pipeline pieces (public for tests/ablations) ----------------------
     def analyze_pages(
@@ -139,46 +112,57 @@ class MSE:
 
         Runs stage-by-stage over all pages (rather than page-by-page over
         all stages) so each stage owns exactly one span and its counters.
+        Works over pre-rendered pages, so it always runs serially and
+        without checkpoints (those need the sample HTML for identity).
         """
-        config = self.config.features
+        from repro.pipeline import PipelineRunner, analysis_stages
+
+        ctx = InductionContext.from_pages(
+            [item.page for item in prepared],
+            [item.query for item in prepared],
+            self.config,
+            self.obs,
+        )
+        PipelineRunner(jobs=1).run(ctx, analysis_stages())
+        self._observe_run(ctx)
+        return self.select_sections(ctx.sections_per_page)
+
+    def select_sections(
+        self, sections_per_page: List[List[SectionInstance]]
+    ) -> List[List[SectionInstance]]:
+        """Hook between per-page analysis and cross-page grouping.
+
+        The full system groups every section instance; baselines override
+        this to restrict the candidate set (e.g. the single-section ViNTs
+        baseline keeps only each page's main section).  Returning the
+        argument unchanged (the default) keeps downstream stage caches
+        valid on resumed runs.
+        """
+        return sections_per_page
+
+    def _mine(self, block: Block, cache: RecordDistanceCache) -> List[Block]:
+        """Strategy-dispatched record mining of one DS block (§5.4)."""
+        return mine_block(
+            block,
+            self.config.mining_strategy,
+            self.config.features,
+            cache,
+            obs=self.obs,
+        )
+
+    def _observe_run(self, ctx: InductionContext) -> None:
+        """End-of-analysis cache/kernel gauges (trace + bench surface)."""
         obs = self.obs
-        pages = [item.page for item in prepared]
-        queries = [item.query for item in prepared]
-        caches = [RecordDistanceCache(config) for _ in pages]
-
-        with self._stage("mre", caches):
-            mrs_per_page: List[List[TentativeMR]] = [
-                extract_mrs(page, config, cache)
-                for page, cache in zip(pages, caches)
-            ]
-            obs.count("mre.sections", sum(len(mrs) for mrs in mrs_per_page))
-            obs.count(
-                "mre.records",
-                sum(len(mr.records) for mrs in mrs_per_page for mr in mrs),
-            )
-
-        with self._stage("dse", caches):
-            csbms_per_page, dss_per_page = run_dse(
-                pages, queries, mrs_per_page, obs=obs
-            )
-
-        refined, pending_per_page = self._refine_stage(
-            pages, mrs_per_page, dss_per_page, csbms_per_page, caches
-        )
-        sections_per_page = self._mine_stage(
-            pages, refined, pending_per_page, caches
-        )
-        sections_per_page = self._granularity_stage(sections_per_page, caches)
-
-        hits, misses = _cache_totals(caches)
+        hits = sum(cache.hits for cache in ctx.caches)
+        misses = sum(cache.misses for cache in ctx.caches)
         obs.gauge("record_distance_cache.hits", hits)
         obs.gauge("record_distance_cache.misses", misses)
         obs.gauge(
             "record_distance_cache.hit_rate",
             hits / (hits + misses) if hits + misses else 0.0,
         )
-        div_hits = sum(cache.diversity_hits for cache in caches)
-        div_misses = sum(cache.diversity_misses for cache in caches)
+        div_hits = sum(cache.diversity_hits for cache in ctx.caches)
+        div_misses = sum(cache.diversity_misses for cache in ctx.caches)
         obs.gauge("diversity_cache.hits", div_hits)
         obs.gauge("diversity_cache.misses", div_misses)
         obs.gauge(
@@ -186,142 +170,6 @@ class MSE:
             div_hits / (div_hits + div_misses) if div_hits + div_misses else 0.0,
         )
         observe_kernel_gauges(obs)
-        return sections_per_page
-
-    @contextmanager
-    def _stage(
-        self, name: str, caches: Sequence[RecordDistanceCache]
-    ) -> Iterator[None]:
-        """A pipeline-stage span that also books the stage's share of the
-        record-distance cache traffic as ``cache.hits`` / ``cache.misses``
-        counters."""
-        obs = self.obs
-        with obs.span(name):
-            hits_before, misses_before = _cache_totals(caches)
-            try:
-                yield
-            finally:
-                hits_after, misses_after = _cache_totals(caches)
-                if hits_after > hits_before:
-                    obs.count("cache.hits", hits_after - hits_before)
-                if misses_after > misses_before:
-                    obs.count("cache.misses", misses_after - misses_before)
-
-    def _refine_stage(
-        self,
-        pages: Sequence[RenderedPage],
-        mrs_per_page: Sequence[List[TentativeMR]],
-        dss_per_page: Sequence[List[DynamicSection]],
-        csbms_per_page: Sequence[Set[int]],
-        caches: Sequence[RecordDistanceCache],
-    ) -> Tuple[List[List[SectionInstance]], List[List[DynamicSection]]]:
-        """§5.3 refinement (or the ablation bypass) for every page."""
-        config = self.config.features
-        obs = self.obs
-        refined: List[List[SectionInstance]] = []
-        pending_per_page: List[List[DynamicSection]] = []
-
-        with self._stage("refine", caches):
-            for page, mrs, dss, csbms, cache in zip(
-                pages, mrs_per_page, dss_per_page, csbms_per_page, caches
-            ):
-                if self.config.use_refinement:
-                    result = refine_page(page, mrs, dss, csbms, config, cache, obs=obs)
-                    sections = list(result.sections)
-                    pending = result.pending
-                else:
-                    # Ablation: trust raw MRs, mine every DS that has no MR.
-                    sections = [
-                        SectionInstance(
-                            page=page,
-                            block=mr.block(),
-                            records=list(mr.records),
-                            origin="mre-raw",
-                        )
-                        for mr in mrs
-                    ]
-                    pending = [
-                        ds
-                        for ds in dss
-                        if not any(
-                            mr.start <= ds.end and ds.start <= mr.end for mr in mrs
-                        )
-                    ]
-                refined.append(sections)
-                pending_per_page.append(pending)
-            obs.count(
-                "refine.sections", sum(len(sections) for sections in refined)
-            )
-            obs.count(
-                "refine.pending",
-                sum(len(pending) for pending in pending_per_page),
-            )
-        return refined, pending_per_page
-
-    def _mine_stage(
-        self,
-        pages: Sequence[RenderedPage],
-        refined: Sequence[List[SectionInstance]],
-        pending_per_page: Sequence[List[DynamicSection]],
-        caches: Sequence[RecordDistanceCache],
-    ) -> List[List[SectionInstance]]:
-        """§5.4 record mining of every pending DS, per page."""
-        obs = self.obs
-        sections_per_page: List[List[SectionInstance]] = []
-
-        with self._stage("mine", caches):
-            mined_records = 0
-            for page, sections, pending, cache in zip(
-                pages, refined, pending_per_page, caches
-            ):
-                sections = list(sections)
-                for ds in pending:
-                    block = ds.block()
-                    records = self._mine(block, cache)
-                    mined_records += len(records)
-                    sections.append(
-                        SectionInstance(
-                            page=page,
-                            block=block,
-                            records=records,
-                            lbm=ds.lbm,
-                            rbm=ds.rbm,
-                            origin="mined",
-                        )
-                    )
-                sections.sort(key=lambda s: s.start)
-                sections_per_page.append(sections)
-            obs.count("mine.records", mined_records)
-        return sections_per_page
-
-    def _granularity_stage(
-        self,
-        sections_per_page: List[List[SectionInstance]],
-        caches: Sequence[RecordDistanceCache],
-    ) -> List[List[SectionInstance]]:
-        """§5.5 granularity resolution, per page (no-op when disabled)."""
-        config = self.config.features
-        obs = self.obs
-        with self._stage("granularity", caches):
-            if self.config.use_granularity:
-                sections_per_page = [
-                    resolve_granularity(sections, config, cache, obs=obs)
-                    for sections, cache in zip(sections_per_page, caches)
-                ]
-            obs.count(
-                "granularity.sections",
-                sum(len(sections) for sections in sections_per_page),
-            )
-        return sections_per_page
-
-    def _mine(self, block: Block, cache: RecordDistanceCache) -> List[Block]:
-        if self.config.mining_strategy == "per-child":
-            from repro.core.mining import candidate_partitions
-
-            candidates = candidate_partitions(block, self.config.features)
-            # plain heuristic: the finest tag partition, no cohesion scoring
-            return max(candidates, key=len)
-        return mine_records(block, self.config.features, cache, obs=self.obs)
 
     # -- helpers ------------------------------------------------------------
     @staticmethod
@@ -341,6 +189,15 @@ def build_wrapper(
     samples: Sequence[SampleInput],
     config: Optional[MSEConfig] = None,
     obs: ObserverLike = NULL_OBSERVER,
+    jobs: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> EngineWrapper:
     """Convenience one-shot wrapper induction (see :class:`MSE`)."""
-    return MSE(config, obs=obs).build_wrapper(samples)
+    return MSE(
+        config,
+        obs=obs,
+        jobs=jobs,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    ).build_wrapper(samples)

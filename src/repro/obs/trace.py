@@ -140,9 +140,11 @@ class SpanNode:
             yield from node.walk()
 
     def to_dict(self) -> Dict[str, Any]:
+        parent, _, _ = self.path.rpartition("/")
         return {
             "name": self.name,
             "path": self.path,
+            "parent": parent,
             "calls": self.calls,
             "seconds": self.seconds,
             "counters": dict(sorted(self.counters.items())),
@@ -242,17 +244,26 @@ class Observer:
     def merge_stats(self, stats: Dict[str, Any]) -> None:
         """Fold a :meth:`stats` document into this observer.
 
-        Span dicts graft onto this observer's tree by their ``path``
-        (calls and seconds add, counters add); metrics merge via
-        :meth:`MetricsRegistry.merge_snapshot`.  This is how the parallel
-        evaluation harness combines the per-worker observers into one
-        aggregate trace — spans are pre-order in the document, so a
-        parent's node always exists before its children are grafted.
+        Span dicts graft onto this observer's tree under their
+        ``parent`` path (calls and seconds add, counters add); metrics
+        merge via :meth:`MetricsRegistry.merge_snapshot`.  This is how
+        the parallel harnesses — the evaluation pool and the pipeline
+        runner's page fan-out — combine per-worker observers into one
+        aggregate trace: a caller may rewrite ``parent`` before merging
+        to nest a worker's top-level spans under a host span.  Spans are
+        pre-order in the document, so a parent's node always exists
+        before its children are grafted; documents from before the
+        ``parent`` field fall back to grafting by ``path``.
         """
         for doc in stats.get("spans", []):
+            parent = doc.get("parent")
+            if parent is None:
+                parent, _, _ = doc["path"].rpartition("/")
             node = self.root
-            for name in doc["path"].split("/"):
-                node = node.child(name)
+            if parent:
+                for name in parent.split("/"):
+                    node = node.child(name)
+            node = node.child(doc.get("name") or doc["path"].rpartition("/")[2])
             node.calls += doc.get("calls", 0)
             node.seconds += doc.get("seconds", 0.0)
             for name, amount in doc.get("counters", {}).items():

@@ -135,8 +135,10 @@ def fast_normalized_tree_distance(tree1: SignedTree, tree2: SignedTree) -> float
         return 0.0
     key, found = TREE_MEMO.lookup(sig1, sig2)
     if found is None:
-        found = tree_edit_distance(tree1.tree, tree2.tree) / max(
-            len(sig1), len(sig2)
+        found = min(
+            1.0,
+            tree_edit_distance(tree1.tree, tree2.tree)
+            / max(len(sig1), len(sig2)),
         )
         TREE_MEMO.store(key, found)
     return found

@@ -1,0 +1,209 @@
+"""The artifact store: JSON checkpoints of stage outputs on disk.
+
+Layout of a checkpoint directory::
+
+    manifest.json        format/version, config key, page ids of last run
+    stage-mre.json       per-page artifacts, keyed by page id
+    stage-dse.json       barrier artifacts, keyed by the ordered-pages key
+    ...
+
+Per-page artifacts are keyed by the page's content hash
+(:func:`repro.pipeline.context.page_id`), so a resumed run with *added*
+sample pages still reuses every unchanged page's artifacts.  Barrier
+artifacts depend on the whole page set at once and are keyed by the hash
+of the ordered page-id list — adding or reordering pages invalidates
+them.  Everything is additionally keyed by a canonical hash of the
+:class:`~repro.core.mse_config.MSEConfig`; a config change wipes the
+store rather than mixing artifacts from different configurations.
+
+Deleting a single ``stage-<name>.json`` is supported and makes a resumed
+run re-execute exactly that stage and its dependents (the runner's
+freshness propagation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.core.mse_config import MSEConfig
+
+FORMAT = "repro-pipeline-checkpoint"
+VERSION = 1
+
+_MANIFEST = "manifest.json"
+
+
+def config_key(config: MSEConfig) -> str:
+    """Canonical content hash of an MSE configuration."""
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def pages_key(page_ids: List[str]) -> str:
+    """Content hash of an *ordered* page-id list (barrier artifact key)."""
+    payload = "\n".join(page_ids)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class ArtifactStore:
+    """Reads and writes stage checkpoints for one induction run."""
+
+    def __init__(self, root: str, config: MSEConfig, page_ids: List[str]) -> None:
+        self.root = root
+        self.config_key = config_key(config)
+        self.page_ids = list(page_ids)
+        self.pages_key = pages_key(self.page_ids)
+
+    @classmethod
+    def open(
+        cls,
+        root: str,
+        config: MSEConfig,
+        page_ids: List[str],
+        resume: bool = False,
+    ) -> "ArtifactStore":
+        """Open (and initialize) a checkpoint directory.
+
+        Without ``resume`` any existing stage files are discarded; with
+        it they are kept — unless the manifest's format or config key
+        does not match, in which case the stale store is wiped (mixing
+        artifacts across configs would silently corrupt results).
+        """
+        store = cls(root, config, page_ids)
+        os.makedirs(root, exist_ok=True)
+        if not resume or not store._manifest_matches():
+            store._wipe()
+        store._write_manifest()
+        return store
+
+    # -- manifest -------------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.root, _MANIFEST)
+
+    def _manifest_matches(self) -> bool:
+        manifest = _read_json(self._manifest_path())
+        return (
+            isinstance(manifest, dict)
+            and manifest.get("format") == FORMAT
+            and manifest.get("version") == VERSION
+            and manifest.get("config_key") == self.config_key
+        )
+
+    def _write_manifest(self) -> None:
+        _write_json(
+            self._manifest_path(),
+            {
+                "format": FORMAT,
+                "version": VERSION,
+                "config_key": self.config_key,
+                "page_ids": self.page_ids,
+                "pages_key": self.pages_key,
+            },
+        )
+
+    def _wipe(self) -> None:
+        for name in sorted(os.listdir(self.root)):
+            if name == _MANIFEST or (
+                name.startswith("stage-") and name.endswith(".json")
+            ):
+                os.unlink(os.path.join(self.root, name))
+
+    # -- stage files ----------------------------------------------------
+
+    def _stage_path(self, stage: str) -> str:
+        return os.path.join(self.root, f"stage-{stage}.json")
+
+    def load_pages(self, stage: str) -> List[Optional[Any]]:
+        """Encoded per-page values of a page stage, aligned to page order.
+
+        Pages with no checkpointed value (new pages, missing or foreign
+        file) yield ``None`` — the runner computes exactly those.
+        """
+        doc = _read_json(self._stage_path(stage))
+        if (
+            not isinstance(doc, dict)
+            or doc.get("format") != FORMAT
+            or doc.get("version") != VERSION
+            or doc.get("scope") != "page"
+        ):
+            return [None] * len(self.page_ids)
+        pages = doc.get("pages")
+        if not isinstance(pages, dict):
+            return [None] * len(self.page_ids)
+        return [pages.get(pid) for pid in self.page_ids]
+
+    def save_pages(self, stage: str, encoded: Dict[str, Any]) -> None:
+        """Merge-write per-page values (``page_id -> encoded value``).
+
+        Existing entries for other page ids are kept, so growing the
+        sample set extends the checkpoint instead of replacing it.
+        """
+        path = self._stage_path(stage)
+        doc = _read_json(path)
+        pages: Dict[str, Any] = {}
+        if (
+            isinstance(doc, dict)
+            and doc.get("format") == FORMAT
+            and doc.get("version") == VERSION
+            and doc.get("scope") == "page"
+            and isinstance(doc.get("pages"), dict)
+        ):
+            pages = dict(doc["pages"])
+        pages.update(encoded)
+        _write_json(
+            path,
+            {
+                "format": FORMAT,
+                "version": VERSION,
+                "scope": "page",
+                "stage": stage,
+                "pages": pages,
+            },
+        )
+
+    def load_barrier(self, stage: str) -> Optional[Any]:
+        """A barrier stage's payload, or None when absent or for a
+        different page set."""
+        doc = _read_json(self._stage_path(stage))
+        if (
+            not isinstance(doc, dict)
+            or doc.get("format") != FORMAT
+            or doc.get("version") != VERSION
+            or doc.get("scope") != "barrier"
+            or doc.get("pages_key") != self.pages_key
+        ):
+            return None
+        return doc.get("payload")
+
+    def save_barrier(self, stage: str, payload: Any) -> None:
+        _write_json(
+            self._stage_path(stage),
+            {
+                "format": FORMAT,
+                "version": VERSION,
+                "scope": "barrier",
+                "stage": stage,
+                "pages_key": self.pages_key,
+                "payload": payload,
+            },
+        )
+
+
+def _read_json(path: str) -> Any:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def _write_json(path: str, payload: Any) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    os.replace(tmp, path)

@@ -1,0 +1,378 @@
+"""The pipeline runner: executes stages with checkpoints and fan-out.
+
+The runner walks an ordered stage list (:func:`repro.pipeline.stages
+.induction_stages`) over one :class:`InductionContext`:
+
+- consecutive *page* stages form a group; with ``jobs > 1`` the group
+  fans its pages out over a process pool (each worker deterministically
+  re-renders its page, runs the group's stage chain and ships encoded
+  artifacts plus its observer stats back);
+- *barrier* stages always run serially in the parent.
+
+With an :class:`~repro.pipeline.artifacts.ArtifactStore` attached, every
+checkpointed stage's outputs are persisted and a resumed run loads them
+instead of recomputing — per page for page stages, per page *set* for
+barriers.  Cached results do not count as *fresh*; a stage actually
+re-executed marks its outputs fresh, and any stage whose inputs are
+fresh ignores its own cache.  That is what makes "delete one stage file,
+resume" re-run exactly that stage and its dependents, and what keeps a
+grown sample set sound (the DSE barrier re-runs, so everything past it
+recomputes while per-page MRE artifacts are reused).
+
+Stages are pure over rendering (no wall-clock, no randomness, no
+iteration-order dependence — enforced by ``repro.analysis``), so serial,
+parallel and resumed runs produce bit-identical wrappers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from contextlib import contextmanager
+
+from repro.core.dse import clean_page_lines
+from repro.core.mse_config import MSEConfig
+from repro.features.record_distance import RecordDistanceCache
+from repro.htmlmod.parser import parse_html
+from repro.obs import NULL_OBSERVER, Observer
+from repro.pipeline.artifacts import ArtifactStore
+from repro.pipeline.context import InductionContext
+from repro.pipeline.stages import (
+    PAGE_STAGES,
+    BarrierStage,
+    PageStage,
+    Stage,
+    decode_artifact,
+    encode_artifact,
+)
+from repro.render.layout import render_page
+
+#: freshness mark meaning "every page" (barrier-scope artifacts)
+_ALL = -1
+
+#: one fan-out task: (page index, markup, query, stage names, encoded
+#: inputs, config, parent-observer-enabled)
+_WorkerTask = Tuple[int, str, str, Tuple[str, ...], Dict[str, Any], MSEConfig, bool]
+#: one fan-out result: (page index, encoded outputs, observer stats)
+_WorkerResult = Tuple[int, Dict[str, Any], Optional[Dict[str, Any]]]
+
+
+def _page_worker(task: _WorkerTask) -> _WorkerResult:
+    """Run a chain of page stages for one page inside a pool worker.
+
+    Top-level (multiprocessing pickles it).  The worker re-renders the
+    page from its HTML — rendering is deterministic, so the decoded
+    input artifacts attach to the same lines as in the parent — runs the
+    requested stages and returns their encoded outputs together with the
+    worker observer's stats document (merged into the parent observer).
+    """
+    index, markup, query, stage_names, encoded_inputs, config, observed = task
+    obs = Observer() if observed else NULL_OBSERVER
+    ctx = InductionContext(samples=[(markup, query)], config=config, obs=obs)
+    page = render_page(parse_html(markup))
+    ctx.artifacts["page"] = [page]
+    ctx.caches = [RecordDistanceCache(config.features)]
+    if "dss" in encoded_inputs or "csbms" in encoded_inputs:
+        # Post-DSE stages read the cleaned line texts DSE fills in.
+        clean_page_lines(page, query.split())
+    for name, encoded in encoded_inputs.items():
+        ctx.artifacts[name] = [decode_artifact(name, encoded, page)]
+
+    outputs: Dict[str, Any] = {}
+    for stage_name in stage_names:
+        stage = PAGE_STAGES[stage_name]()
+        with _booked_span(ctx, stage):
+            produced = stage.run_page(ctx, 0)
+        for name, value in produced.items():
+            ctx.set_page_value(name, 0, value)
+            outputs[name] = encode_artifact(name, value)
+    return index, outputs, (obs.stats() if observed else None)
+
+
+@contextmanager
+def _booked_span(ctx: InductionContext, stage: Stage) -> Iterator[None]:
+    """A stage span that books the stage's share of record-distance
+    cache traffic as ``cache.hits`` / ``cache.misses`` counters (the
+    trace shape the monolithic orchestrator established)."""
+    if not stage.spanned:
+        yield
+        return
+    with ctx.obs.span(stage.name):
+        hits_before, misses_before = _cache_totals(ctx.caches)
+        try:
+            yield
+        finally:
+            hits_after, misses_after = _cache_totals(ctx.caches)
+            if hits_after > hits_before:
+                ctx.obs.count("cache.hits", hits_after - hits_before)
+            if misses_after > misses_before:
+                ctx.obs.count("cache.misses", misses_after - misses_before)
+
+
+def _cache_totals(caches: Sequence[RecordDistanceCache]) -> Tuple[int, int]:
+    return (
+        sum(cache.hits for cache in caches),
+        sum(cache.misses for cache in caches),
+    )
+
+
+class PipelineRunner:
+    """Executes a stage list over a context; see the module docstring."""
+
+    def __init__(
+        self, jobs: int = 1, store: Optional[ArtifactStore] = None
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.store = store
+        #: artifact name -> page indices recomputed this run (_ALL = all)
+        self._fresh: Dict[str, Set[int]] = {}
+
+    # -- public ---------------------------------------------------------
+    def run(self, ctx: InductionContext, stages: Sequence[Stage]) -> InductionContext:
+        """Execute the stages in order; artifacts land in ``ctx``."""
+        self._fresh = {}
+        for group in _grouped(stages):
+            self._ensure_caches(ctx)
+            if isinstance(group[0], BarrierStage):
+                assert len(group) == 1
+                self._run_barrier(ctx, group[0])
+            else:
+                self._run_page_group(ctx, [s for s in group if isinstance(s, PageStage)])
+        return ctx
+
+    # -- freshness ------------------------------------------------------
+    def _mark_fresh(self, name: str, index: int) -> None:
+        self._fresh.setdefault(name, set()).add(index)
+
+    def _inputs_fresh(self, requires: Sequence[str], index: Optional[int]) -> bool:
+        """Whether any required artifact was recomputed this run.
+
+        ``index`` scopes the check to one page; None means "any page"
+        (barrier stages).  Rendered pages never count as fresh: rendering
+        always re-runs but is deterministic, so it cannot invalidate.
+        """
+        for name in requires:
+            if name == "page":
+                continue
+            marks = self._fresh.get(name)
+            if not marks:
+                continue
+            if index is None or _ALL in marks or index in marks:
+                return True
+        return False
+
+    # -- barrier stages -------------------------------------------------
+    def _run_barrier(self, ctx: InductionContext, stage: BarrierStage) -> None:
+        store = self.store if stage.checkpointed else None
+        if store is not None and not self._inputs_fresh(stage.requires, None):
+            payload = store.load_barrier(stage.name)
+            if payload is not None:
+                for name, value in stage.decode(ctx, payload).items():
+                    ctx.artifacts[name] = value
+                return
+
+        previous = {name: ctx.artifacts.get(name) for name in stage.provides}
+        with _booked_span(ctx, stage):
+            produced = stage.run(ctx)
+        for name, value in produced.items():
+            ctx.artifacts[name] = value
+            # An identity-returning hook (SelectStage's default) leaves
+            # downstream caches valid; only a changed value is fresh.
+            if stage.checkpointed or value is not previous.get(name):
+                self._mark_fresh(name, _ALL)
+        if store is not None:
+            store.save_barrier(stage.name, stage.encode(ctx))
+
+    # -- page-stage groups ----------------------------------------------
+    def _run_page_group(
+        self, ctx: InductionContext, group: List[PageStage]
+    ) -> None:
+        store = self.store
+        cached: Dict[str, List[Optional[Any]]] = {}
+        for stage in group:
+            if store is not None and stage.checkpointed:
+                cached[stage.name] = store.load_pages(stage.name)
+
+        # Per page: index of the first stage in the chain that must run
+        # (missing checkpoint or fresh inputs); everything after it runs
+        # too, since its inputs become fresh.
+        starts: List[int] = []
+        for index in range(ctx.page_count):
+            start = len(group)
+            for position, stage in enumerate(group):
+                values = cached.get(stage.name)
+                if (
+                    values is None
+                    or values[index] is None
+                    or self._inputs_fresh(stage.requires, index)
+                ):
+                    start = position
+                    break
+            starts.append(start)
+
+        # Decode the cached prefix of every page's chain.
+        for position, stage in enumerate(group):
+            values = cached.get(stage.name)
+            for index in range(ctx.page_count):
+                if position < starts[index] and values is not None:
+                    encoded = values[index]
+                    assert encoded is not None
+                    for name in stage.provides:
+                        ctx.set_page_value(
+                            name,
+                            index,
+                            decode_artifact(name, encoded[name], ctx.pages[index]),
+                        )
+
+        pending = [index for index in range(ctx.page_count) if starts[index] < len(group)]
+        fanout = (
+            self.jobs > 1
+            and len(pending) > 1
+            and all(stage.fanout for stage in group)
+            and all(markup for markup, _ in ctx.samples)
+        )
+        computed: Dict[str, Dict[int, Dict[str, Any]]] = {
+            stage.name: {} for stage in group
+        }
+        if fanout:
+            self._run_group_parallel(ctx, group, starts, pending, computed)
+        else:
+            self._run_group_serial(ctx, group, starts, computed)
+
+        for index in pending:
+            for stage in group[starts[index]:]:
+                for name in stage.provides:
+                    if name != "page":
+                        self._mark_fresh(name, index)
+
+        if store is not None:
+            for stage in group:
+                if not stage.checkpointed:
+                    continue
+                encoded_pages = {
+                    store.page_ids[index]: encoded
+                    for index, encoded in sorted(computed[stage.name].items())
+                }
+                if encoded_pages:
+                    store.save_pages(stage.name, encoded_pages)
+
+    def _run_group_serial(
+        self,
+        ctx: InductionContext,
+        group: List[PageStage],
+        starts: List[int],
+        computed: Dict[str, Dict[int, Dict[str, Any]]],
+    ) -> None:
+        """One span per stage, pages inside — the monolith's trace shape."""
+        want_encoding = self.store is not None
+        for position, stage in enumerate(group):
+            indices = [i for i in range(ctx.page_count) if starts[i] <= position]
+            if not indices:
+                continue
+            with _booked_span(ctx, stage):
+                for index in indices:
+                    produced = stage.run_page(ctx, index)
+                    for name, value in produced.items():
+                        ctx.set_page_value(name, index, value)
+                    if want_encoding and stage.checkpointed:
+                        computed[stage.name][index] = {
+                            name: encode_artifact(name, value)
+                            for name, value in produced.items()
+                        }
+
+    def _run_group_parallel(
+        self,
+        ctx: InductionContext,
+        group: List[PageStage],
+        starts: List[int],
+        pending: List[int],
+        computed: Dict[str, Dict[int, Dict[str, Any]]],
+    ) -> None:
+        """Fan pending pages out over a process pool.
+
+        Workers return *encoded* artifacts; the parent decodes them
+        against its own rendered pages, so downstream barrier stages see
+        exactly what a serial run would have produced (the codecs are
+        lossless over line spans).  Worker observer stats merge into the
+        parent observer by span path, keeping one aggregate trace.
+        """
+        provides_at: Dict[int, Tuple[str, ...]] = {}
+        tasks: List[_WorkerTask] = []
+        for index in pending:
+            chain = group[starts[index]:]
+            names = tuple(stage.name for stage in chain)
+            produced_names = {name for stage in chain for name in stage.provides}
+            required = [
+                name
+                for stage in chain
+                for name in stage.requires
+                if name != "page" and name not in produced_names
+            ]
+            inputs = {
+                name: encode_artifact(name, ctx.artifacts[name][index])
+                for name in dict.fromkeys(required)
+            }
+            markup, query = ctx.samples[index]
+            tasks.append(
+                (index, markup, query, names, inputs, ctx.config, ctx.obs.enabled)
+            )
+            provides_at[index] = tuple(sorted(produced_names))
+
+        collected: List[_WorkerResult] = []
+        with multiprocessing.Pool(processes=min(self.jobs, len(tasks))) as pool:
+            for result in pool.imap_unordered(_page_worker, tasks):
+                collected.append(result)
+        collected.sort(key=lambda item: item[0])
+
+        stage_of: Dict[str, str] = {
+            name: stage.name for stage in group for name in stage.provides
+        }
+        checkpointed = {stage.name for stage in group if stage.checkpointed}
+        for index, outputs, stats in collected:
+            page = ctx.pages[index]
+            for name in provides_at[index]:
+                encoded = outputs[name]
+                ctx.set_page_value(name, index, decode_artifact(name, encoded, page))
+                owner = stage_of[name]
+                if owner in checkpointed:
+                    computed[owner].setdefault(index, {})[name] = encoded
+            if stats is not None:
+                merge = getattr(ctx.obs, "merge_stats", None)
+                if merge is not None:
+                    merge(stats)
+
+    # -- helpers --------------------------------------------------------
+    def _ensure_caches(self, ctx: InductionContext) -> None:
+        """Per-page record-distance caches, once pages exist."""
+        if ctx.pages and len(ctx.caches) != len(ctx.pages):
+            ctx.caches = [
+                RecordDistanceCache(ctx.config.features) for _ in ctx.pages
+            ]
+
+
+def _grouped(stages: Sequence[Stage]) -> Iterator[List[Stage]]:
+    """Split the stage list into fan-out units.
+
+    Consecutive page stages with the same ``fanout`` flag form one
+    group (their chains ship to a worker together, saving one re-render
+    per stage); every barrier stage is its own group.
+    """
+    group: List[Stage] = []
+    for stage in stages:
+        if isinstance(stage, PageStage) and (
+            not group
+            or (
+                isinstance(group[-1], PageStage)
+                and group[-1].fanout == stage.fanout
+            )
+        ):
+            group.append(stage)
+            continue
+        if group:
+            yield group
+        group = [stage] if isinstance(stage, PageStage) else []
+        if not isinstance(stage, PageStage):
+            yield [stage]
+    if group:
+        yield group

@@ -132,6 +132,83 @@ class TestDemoAndEval:
         assert "Table 1" in capsys.readouterr().out
 
 
+class TestMissingPageFiles:
+    """A missing/unreadable page file exits 2 with one stderr line."""
+
+    def _assert_clean_failure(self, code, captured):
+        assert code == 2
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1
+        assert "cannot read page file" in lines[0]
+        assert "Traceback" not in captured.err
+
+    def test_induce_missing_page(self, workspace, tmp_path, capsys):
+        out = tmp_path / "w.json"
+        code = main(
+            ["induce", "-o", str(out), workspace["samples"][0], "missing.html:q"]
+        )
+        self._assert_clean_failure(code, capsys.readouterr())
+        assert not out.exists()
+
+    def test_extract_missing_page(self, workspace, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        code = main(["extract", "-w", workspace["wrapper"], "missing.html"])
+        self._assert_clean_failure(code, capsys.readouterr())
+
+    def test_check_missing_page(self, workspace, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        code = main(["check", "-w", workspace["wrapper"], "missing.html"])
+        self._assert_clean_failure(code, capsys.readouterr())
+
+    def test_induce_unreadable_page(self, workspace, tmp_path, capsys):
+        bad = tmp_path / "binary.html"
+        bad.write_bytes(b"\xff\xfe\x00\x80garbage")
+        out = tmp_path / "w.json"
+        code = main(
+            ["induce", "-o", str(out), workspace["samples"][0], f"{bad}:q"]
+        )
+        self._assert_clean_failure(code, capsys.readouterr())
+
+
+class TestInducePipelineFlags:
+    def test_jobs_and_checkpoint_resume_are_byte_identical(
+        self, workspace, tmp_path, capsys
+    ):
+        serial = tmp_path / "serial.json"
+        assert main(["induce", "-o", str(serial), *workspace["samples"]]) == 0
+
+        jobs2 = tmp_path / "jobs2.json"
+        assert main(
+            ["induce", "--jobs", "2", "-o", str(jobs2), *workspace["samples"]]
+        ) == 0
+
+        ck = tmp_path / "ckpt"
+        first = tmp_path / "ck.json"
+        assert main(
+            ["induce", "--checkpoint-dir", str(ck), "-o", str(first),
+             *workspace["samples"]]
+        ) == 0
+        (ck / "stage-wrapper.json").unlink()
+        resumed = tmp_path / "resumed.json"
+        assert main(
+            ["induce", "--checkpoint-dir", str(ck), "--resume",
+             "-o", str(resumed), *workspace["samples"]]
+        ) == 0
+
+        reference = serial.read_text()
+        assert jobs2.read_text() == reference
+        assert first.read_text() == reference
+        assert resumed.read_text() == reference
+
+    def test_resume_requires_checkpoint_dir(self, workspace, tmp_path, capsys):
+        out = tmp_path / "w.json"
+        code = main(["induce", "--resume", "-o", str(out), *workspace["samples"]])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+
 class TestSplitPageArg:
     def test_plain_path(self):
         assert _split_page_arg("page.html") == ("page.html", "")

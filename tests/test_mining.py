@@ -3,6 +3,7 @@
 from repro.core.mining import (
     _uniform_starts,
     candidate_partitions,
+    mine_block,
     mine_records,
     separator_tag_of,
 )
@@ -82,6 +83,42 @@ class TestMineRecords:
         # mining a block that covers only part of the section
         records = mine_records(Block(LIST_PAGE, 0, 3))
         assert [(r.start, r.end) for r in records] == [(0, 1), (2, 3)]
+
+
+class TestMineBlock:
+    def test_cohesion_strategy_delegates_to_mine_records(self):
+        block = Block(LIST_PAGE, 0, 5)
+        assert [
+            (r.start, r.end) for r in mine_block(block, "cohesion")
+        ] == [(r.start, r.end) for r in mine_records(block)]
+
+    def test_per_child_takes_finest_partition(self):
+        records = mine_block(Block(LIST_PAGE, 0, 5), "per-child")
+        assert [(r.start, r.end) for r in records] == [(0, 1), (2, 3), (4, 5)]
+
+    def test_per_child_fragments_single_record_ds(self):
+        # Where the strategies differ: cohesion keeps a one-record DS
+        # whole (the paper's strength); per-child blindly splits it.
+        block = Block(SINGLE_PAGE, 0, 2)
+        assert [(r.start, r.end) for r in mine_block(block, "cohesion")] == [
+            (0, 2)
+        ]
+        assert [(r.start, r.end) for r in mine_block(block, "per-child")] == [
+            (0, 1), (2, 2),
+        ]
+
+    def test_per_child_empty_candidates_falls_back_to_whole_block(
+        self, monkeypatch
+    ):
+        # Regression: ``max([], key=len)`` raised ValueError.  No real
+        # block produces zero candidates today (the whole-block partition
+        # is always included), so force the degenerate case.
+        import repro.core.mining as mining
+
+        monkeypatch.setattr(mining, "candidate_partitions", lambda b, c: [])
+        block = Block(LIST_PAGE, 0, 5)
+        records = mine_block(block, "per-child")
+        assert [(r.start, r.end) for r in records] == [(0, 5)]
 
 
 class TestUniformStarts:

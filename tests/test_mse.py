@@ -122,6 +122,83 @@ class TestConfigSwitches:
         assert config.mining_strategy == "cohesion"
 
 
+class TestAblationCounts:
+    """Pin the ablation branches' section/record counts.
+
+    ``use_refinement=False`` takes the mre-raw bypass (trust raw MRs,
+    pending = DSs with no MR overlap); ``mining_strategy="per-child"``
+    swaps Formula-7 cohesion for the finest tag partition in the mine
+    stage.  Both paths were previously untested beyond "runs".
+    """
+
+    TWO_SECTIONS = sample_pages(
+        ("apple", "banana", "cherry"), [("Web", 5), ("News", 2)]
+    )
+
+    def test_no_refinement_sections_are_raw_mrs(self):
+        mse = MSE(MSEConfig(use_refinement=False))
+        per_page = mse.analyze_pages(mse._prepare(self.TWO_SECTIONS))
+        # Raw MRE merges the adjacent Web and News runs into one 7-record
+        # MR on every page; nothing is left pending for the miner.
+        assert [
+            [(s.origin, len(s.records)) for s in page] for page in per_page
+        ] == [[("mre-raw", 7)]] * 3
+
+    def test_no_refinement_collapses_sections_into_one_wrapper(self):
+        engine = build_wrapper(
+            self.TWO_SECTIONS, MSEConfig(use_refinement=False)
+        )
+        assert len(engine.wrappers) == 1
+        assert engine.wrappers[0].typical_records == 7
+
+    def test_refinement_splits_what_raw_mre_merges(self):
+        # The control: with refinement on, the same pages yield the two
+        # true sections — the §5.3 behaviour the ablation removes.
+        engine = build_wrapper(self.TWO_SECTIONS, MSEConfig())
+        assert sorted(w.typical_records for w in engine.wrappers) == [2, 5]
+        extraction = engine.extract(*self.TWO_SECTIONS[0])
+        assert len(extraction) == 2
+        assert extraction.record_count == 7
+
+    def test_per_child_matches_cohesion_when_nothing_pending(self):
+        # Refinement leaves no pending DS on this corpus, so the mining
+        # strategy never fires and both configs pin to the same counts.
+        mse = MSE(MSEConfig(mining_strategy="per-child"))
+        per_page = mse.analyze_pages(mse._prepare(self.TWO_SECTIONS))
+        assert [
+            [(s.origin, len(s.records)) for s in page] for page in per_page
+        ] == [[("refine", 5), ("refine", 2)]] * 3
+        engine = build_wrapper(
+            self.TWO_SECTIONS, MSEConfig(mining_strategy="per-child")
+        )
+        assert sorted(w.typical_records for w in engine.wrappers) == [2, 5]
+
+    def test_mine_stage_dispatches_by_strategy(self):
+        # Drive the mine stage directly with a pending single-record DS:
+        # cohesion keeps it whole, per-child fragments it.
+        from repro.core.dse import DynamicSection
+        from repro.pipeline import InductionContext, MineStage
+        from tests.helpers import render
+
+        page = render(
+            "<html><body><div>"
+            "<a href='/1'>only title here</a><br>the single snippet<br>"
+            "<font color='green'>http://example.com/x</font>"
+            "</div></body></html>"
+        )
+        counts = {}
+        for strategy in ("cohesion", "per-child"):
+            ctx = InductionContext.from_pages(
+                [page], ["q"], MSEConfig(mining_strategy=strategy)
+            )
+            ctx.artifacts["refined"] = [[]]
+            ctx.artifacts["pending"] = [[DynamicSection(page, 0, 2)]]
+            mined = MineStage().run_page(ctx, 0)["mined"]
+            assert [s.origin for s in mined] == ["mined"]
+            counts[strategy] = [len(s.records) for s in mined]
+        assert counts == {"cohesion": [1], "per-child": [2]}
+
+
 class TestDifferentLayouts:
     WORDS = [
         "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",

@@ -83,6 +83,15 @@ class TestNormalized:
         d = normalized_tree_distance(t1, t2)
         assert 0.0 <= d <= 1.0
 
+    def test_structurally_disjoint_pair_saturates_at_one(self):
+        # Regression (found by hypothesis): ancestry constraints make a
+        # raw distance of 6 between these two 5-node trees, so the
+        # larger-size ratio is 1.2 without the clamp.
+        t1 = t(("a", ("b", ("a",), ("a",)), ("a",)))
+        t2 = t(("c", ("c",), ("a", ("c",), ("b",))))
+        assert tree_edit_distance(t1, t2) == 6.0
+        assert normalized_tree_distance(t1, t2) == 1.0
+
 
 # Random tree strategy: nested tuples with small labels and sizes.
 def tree_strategy(max_depth=3):
