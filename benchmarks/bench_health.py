@@ -1,0 +1,144 @@
+"""Monitor overhead and drift-detection latency for benchmark trajectories.
+
+Two questions a deployment asks of the health monitor:
+
+- **Overhead** — how much does routing every served page through
+  :meth:`WrapperMonitor.observe_page` cost on top of the bare
+  ``check_wrapper`` call it wraps (window/EWMA/Page–Hinkley updates plus
+  event logging)?
+- **Latency** — how many pages after a template mutation does the
+  monitor confirm drift, per mutation family, and does healing recover?
+
+Both are written to ``BENCH_health.json`` (override the path with
+``REPRO_BENCH_HEALTH``) so the trajectory across commits shows when a
+detector change trades latency for false-positive robustness, or when
+monitor bookkeeping starts to eat into the serving path.
+"""
+
+import json
+import os
+import time
+
+from repro.core.mse import build_wrapper
+from repro.core.verify import check_wrapper
+from repro.monitor import MonitorConfig, WrapperMonitor
+from repro.testbed import SAMPLE_PAGES, load_engine_pages, load_evolving_pages
+
+OUTPUT = os.environ.get("REPRO_BENCH_HEALTH", "BENCH_health.json")
+
+#: engine for the overhead profile (single-section, cheap check)
+OVERHEAD_ENGINE = 3
+#: pages routed through the monitor per overhead measurement
+OVERHEAD_PAGES = 60
+
+#: (engine, mutation, expect_recovery) for the latency profile: the
+#: textbook single-section engine across every breaking family, plus
+#: the noisy multi-section engine whose first heal legitimately fails.
+#: ``section_drop`` on a single-section engine is unhealable by design:
+#: the engine retired its only schema, so no re-induced wrapper can
+#: score healthy — the monitor must detect, attempt, and keep retrying.
+LATENCY_CASES = (
+    (3, "marker_rewrite", True),
+    (3, "style_swap", True),
+    (3, "section_drop", False),
+    (90, "marker_rewrite", True),
+)
+
+
+def _monitor_overhead():
+    pages = load_engine_pages(OVERHEAD_ENGINE)
+    wrapper = build_wrapper(pages.sample_set)
+    stream = [
+        pages.sample_set[index % len(pages.sample_set)]
+        for index in range(OVERHEAD_PAGES)
+    ]
+
+    start = time.perf_counter()
+    for markup, query in stream:
+        check_wrapper(wrapper, markup, query)
+    bare_s = time.perf_counter() - start
+
+    monitor = WrapperMonitor(wrapper)
+    start = time.perf_counter()
+    for markup, query in stream:
+        monitor.observe_page(markup, query)
+    monitored_s = time.perf_counter() - start
+
+    return {
+        "pages": OVERHEAD_PAGES,
+        "bare_check_seconds_per_page": bare_s / OVERHEAD_PAGES,
+        "monitored_seconds_per_page": monitored_s / OVERHEAD_PAGES,
+        "overhead_seconds_per_page": (monitored_s - bare_s) / OVERHEAD_PAGES,
+        "overhead_ratio": monitored_s / bare_s if bare_s else None,
+    }
+
+
+def _detection_case(engine_id, mutation):
+    evolving = load_evolving_pages(engine_id, mutation)
+    wrapper = build_wrapper(evolving.sample_set)
+    monitor = WrapperMonitor(wrapper, MonitorConfig(heal=True))
+    for markup, query in evolving.stream(SAMPLE_PAGES):
+        monitor.observe_page(markup, query)
+    summary = monitor.summary()
+    detected = [SAMPLE_PAGES + page for page in summary.drift_pages]
+    return {
+        "engine": engine_id,
+        "mutation": mutation,
+        "mutate_at": evolving.truth.mutate_at,
+        "pages_monitored": summary.pages,
+        "drifts": summary.drifts,
+        "detected_at": detected,
+        "detection_latency_pages": (
+            evolving.truth.detection_latency(detected[0]) if detected else None
+        ),
+        "reinductions": summary.reinductions,
+        "heals": summary.heals,
+        "recovered": summary.state == "healthy",
+        "mean_score": summary.mean_score,
+    }
+
+
+def test_health_bench_emitted():
+    overhead = _monitor_overhead()
+    # The monitor must stay a thin layer over the health check itself.
+    assert overhead["overhead_ratio"] < 2.0
+
+    cases = []
+    for engine_id, mutation, expect_recovery in LATENCY_CASES:
+        row = _detection_case(engine_id, mutation)
+        assert row["drifts"] >= 1, f"{engine_id}/{mutation}: no drift detected"
+        assert row["detected_at"][0] >= row["mutate_at"], (
+            f"{engine_id}/{mutation}: false positive before the mutation"
+        )
+        if expect_recovery:
+            assert row["recovered"], (
+                f"{engine_id}/{mutation}: heal did not recover"
+            )
+        else:
+            # Unhealable by construction — but the monitor must have tried.
+            assert row["reinductions"] >= 1, (
+                f"{engine_id}/{mutation}: no re-induction attempted"
+            )
+        cases.append(row)
+
+    report = {
+        "format": "repro-bench-health",
+        "version": 1,
+        "overhead": overhead,
+        "detection": cases,
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    print(f"\nhealth bench written to {OUTPUT}")
+    print(
+        f"  overhead: {overhead['overhead_seconds_per_page'] * 1000:.2f}ms/page"
+        f" ({overhead['overhead_ratio']:.2f}x bare check)"
+    )
+    for row in cases:
+        print(
+            f"  engine {row['engine']:>3d} {row['mutation']:<15s}"
+            f" latency {row['detection_latency_pages']} page(s)"
+            f"  heals {row['heals']}/{row['reinductions']}"
+            f"  recovered {row['recovered']}"
+        )

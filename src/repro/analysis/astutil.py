@@ -13,6 +13,8 @@ GATED_PACKAGES: Tuple[str, ...] = (
     "repro.algorithms",
     "repro.perf",
     "repro.pipeline",
+    "repro.monitor",
+    "repro.obs.health",
 )
 
 def dotted_name(node: ast.AST) -> Optional[str]:

@@ -49,7 +49,7 @@ class ObserverThreadingRule(Rule):
         "pipeline stages take obs=NULL_OBSERVER explicitly; no "
         "module-level Observer() instances"
     )
-    scope = ("repro.core", "repro.pipeline")
+    scope = ("repro.core", "repro.pipeline", "repro.monitor")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         # Module-level observer instances: scan top-level statements only

@@ -3,16 +3,27 @@
     python -m repro induce  -o wrapper.json page1.html:query1 page2.html:query2 ...
                     [--jobs N] [--checkpoint-dir DIR] [--resume]
     python -m repro extract -w wrapper.json page.html [--query "..."] [--json]
-    python -m repro check   -w wrapper.json page.html [--query "..."]
+    python -m repro check   -w wrapper.json page.html [--query "..."] [--json FILE]
+    python -m repro monitor -w wrapper.json page1.html:q1 page2.html:q2 ...
+                    [--window N] [--threshold X] [--heal] [--events FILE]
+    python -m repro monitor --testbed ID --evolve MUTATION [--mutate-at N] [--pages N]
     python -m repro eval    [--table 1|2|3|all] [--limit N] [--jobs N]
     python -m repro demo    [--engine-id N]
 
 ``induce`` builds a wrapper from sample pages (each argument is an HTML
 file path, optionally suffixed ``:query terms``); ``extract`` applies a
 saved wrapper to a page and prints sections/records (or JSON);
-``check`` reports wrapper health (drift detection); ``eval`` regenerates
-the paper's tables on the synthetic corpus; ``demo`` runs a full
-induce-and-extract round trip against one synthetic engine.
+``check`` reports wrapper health on one page (``--json FILE`` writes the
+machine-readable breakdown); ``monitor`` feeds a stream of pages through
+the sliding-window drift monitor — with ``--heal`` it re-induces and
+hot-swaps the wrapper once drift is confirmed, and ``--events FILE``
+persists the health-event JSONL log.  In ``--testbed`` mode the stream
+comes from a template-evolution engine (see
+``repro.testbed.evolution``): the wrapper is induced from pre-mutation
+sample pages and detection latency is reported against ground truth.
+``eval`` regenerates the paper's tables on the synthetic corpus;
+``demo`` runs a full induce-and-extract round trip against one
+synthetic engine.
 
 ``induce --jobs N`` fans the per-page pipeline stages out over worker
 processes; ``--checkpoint-dir DIR`` persists every stage's artifacts as
@@ -160,11 +171,118 @@ def cmd_check(args) -> int:
             for name, passed in section.checks.items()
         )
         print(f"    checks: {checks} (homogeneity={section.homogeneity:.3f})")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(health.to_obj(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
     if getattr(args, "stats", False):
         print("metrics: " + json.dumps(health.metrics, sort_keys=True),
               file=sys.stderr)
     _finish_obs(args, obs, "check trace")
     return 1 if health.drifted else 0
+
+
+def cmd_monitor(args) -> int:
+    from repro.monitor import MonitorConfig, WrapperMonitor
+
+    config = MonitorConfig(
+        window=args.window,
+        threshold=args.threshold,
+        ph_delta=args.ph_delta,
+        ph_lambda=args.ph_lambda,
+        heal=args.heal,
+        checkpoint_dir=args.checkpoint_dir,
+        jobs=args.jobs,
+    )
+
+    truth = None
+    if args.testbed is not None:
+        from repro.testbed.evolution import MUTATIONS, load_evolving_pages
+        from repro.testbed.corpus import SAMPLE_PAGES
+
+        if args.pages:
+            print("monitor: --testbed and page arguments are exclusive",
+                  file=sys.stderr)
+            return 2
+        if args.evolve not in MUTATIONS:
+            print(f"monitor: unknown mutation {args.evolve!r} "
+                  f"(choose from {', '.join(sorted(MUTATIONS))})",
+                  file=sys.stderr)
+            return 2
+        evolving = load_evolving_pages(
+            args.testbed, args.evolve,
+            mutate_at=args.mutate_at, total_pages=args.total_pages,
+        )
+        truth = evolving.truth
+        if args.wrapper:
+            wrapper = load_wrapper(args.wrapper)
+        else:
+            wrapper = build_wrapper(evolving.sample_set)
+        stream = evolving.stream(SAMPLE_PAGES)
+        offset = SAMPLE_PAGES
+        print(f"testbed engine {args.testbed} / {args.evolve}: monitoring "
+              f"{len(stream)} pages (template mutates at page "
+              f"{truth.mutate_at}, drift expected: {truth.drift_expected})")
+    else:
+        if not args.wrapper:
+            print("monitor: -w/--wrapper is required outside --testbed mode",
+                  file=sys.stderr)
+            return 2
+        if len(args.pages) < 1:
+            print("monitor: need at least one page to monitor", file=sys.stderr)
+            return 2
+        wrapper = load_wrapper(args.wrapper)
+        stream = []
+        for arg in args.pages:
+            path, query = _split_page_arg(arg)
+            stream.append((_read(path), query))
+        offset = 0
+
+    obs = _observer_for(args)
+    monitor = WrapperMonitor(wrapper, config, obs=obs)
+    for markup, query in stream:
+        page = offset + monitor.pages_seen
+        health = monitor.observe_page(markup, query)
+        print(f"  page {page:3d}: score {health.score:.2f} "
+              f"state={monitor.state}")
+        for event in monitor.log.events[-3:]:
+            if event["event"] == "drift" and event["page"] == page - offset:
+                print(f"    DRIFT confirmed on stream {event['stream']!r} "
+                      f"(ph={event['ph']:.2f}, ewma={event['ewma']:.2f})")
+            elif event["event"] == "heal" and event["page"] == page - offset:
+                verdict = "recovered" if event["recovered"] else "NOT recovered"
+                print(f"    heal attempt: {verdict} "
+                      f"(post-heal score {event['score']:.2f})")
+
+    summary = monitor.summary()
+    doc = summary.to_obj()
+    if truth is not None:
+        doc["truth"] = {
+            "engine_id": truth.engine_id,
+            "mutation": truth.mutation,
+            "mutate_at": truth.mutate_at,
+            "drift_expected": truth.drift_expected,
+        }
+        detected = [offset + page for page in summary.drift_pages]
+        doc["detected_at"] = detected
+        doc["detection_latency"] = (
+            truth.detection_latency(detected[0]) if detected else None
+        )
+    print(f"monitored {summary.pages} pages: {summary.drifts} drift(s), "
+          f"{summary.reinductions} re-induction(s), {summary.heals} heal(s); "
+          f"final state {summary.state}")
+    if truth is not None and doc["detection_latency"] is not None:
+        print(f"detection latency: {doc['detection_latency']} page(s) "
+              f"after the mutation")
+    if args.events:
+        monitor.log.write_jsonl(args.events)
+        print(f"wrote {len(monitor.log.events)} health events to {args.events}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    _finish_obs(args, obs, "monitor trace")
+    return 0 if summary.state == "healthy" else 1
 
 
 def cmd_eval(args) -> int:
@@ -254,8 +372,78 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("page", help="result page HTML file")
     p_check.add_argument("-w", "--wrapper", required=True)
     p_check.add_argument("--query", default="")
+    p_check.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the machine-readable health breakdown to FILE",
+    )
     _add_obs_flags(p_check)
     p_check.set_defaults(func=cmd_check)
+
+    p_monitor = sub.add_parser(
+        "monitor", help="sliding-window drift monitor over a page stream"
+    )
+    p_monitor.add_argument(
+        "pages", nargs="*", help="page.html[:query terms] stream, in served order"
+    )
+    p_monitor.add_argument(
+        "-w", "--wrapper", default=None,
+        help="wrapper JSON (required unless --testbed induces one)",
+    )
+    p_monitor.add_argument(
+        "--window", type=int, default=8,
+        help="sliding-window length in pages (default 8)",
+    )
+    p_monitor.add_argument(
+        "--threshold", type=float, default=0.6,
+        help="health threshold for drift confirmation and heal acceptance",
+    )
+    p_monitor.add_argument(
+        "--ph-delta", type=float, default=0.05,
+        help="Page-Hinkley tolerated deviation below the running mean",
+    )
+    p_monitor.add_argument(
+        "--ph-lambda", type=float, default=1.0,
+        help="Page-Hinkley alarm threshold on the cumulative statistic",
+    )
+    p_monitor.add_argument(
+        "--heal", action="store_true",
+        help="re-induce and hot-swap the wrapper once drift is confirmed",
+    )
+    p_monitor.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="write the health-event JSONL log to FILE",
+    )
+    p_monitor.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the end-of-run summary JSON to FILE",
+    )
+    p_monitor.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="checkpoint directory for resumable re-induction",
+    )
+    p_monitor.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for re-induction (1 = serial)",
+    )
+    p_monitor.add_argument(
+        "--testbed", type=int, metavar="ID", default=None,
+        help="monitor a template-evolution workload of synthetic engine ID",
+    )
+    p_monitor.add_argument(
+        "--evolve", metavar="MUTATION", default="marker_rewrite",
+        help="template mutation for --testbed mode (marker_rewrite, "
+        "style_swap, section_drop, header_retag)",
+    )
+    p_monitor.add_argument(
+        "--mutate-at", type=int, default=12,
+        help="page index where the --testbed template mutates (default 12)",
+    )
+    p_monitor.add_argument(
+        "--total-pages", type=int, default=24,
+        help="total pages in the --testbed workload (default 24)",
+    )
+    _add_obs_flags(p_monitor)
+    p_monitor.set_defaults(func=cmd_monitor)
 
     p_eval = sub.add_parser("eval", help="regenerate the paper's tables")
     p_eval.add_argument("--table", choices=["1", "2", "3", "all"], default="all")

@@ -22,7 +22,7 @@ Checks, each contributing to a [0, 1] health score:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from repro.core.dse import clean_page_lines
 from repro.core.wrapper import EngineWrapper, apply_section_wrapper
@@ -117,6 +117,7 @@ class WrapperHealth:
                 "homogeneous_rate": 0.0,
                 "count_plausible_rate": 0.0,
                 "marker_hit_rate": 0.0,
+                "marker_hit_found_rate": 0.0,
                 "mean_homogeneity": 0.0,
             }
         found = [s for s in self.sections if s.found]
@@ -128,9 +129,49 @@ class WrapperHealth:
             "homogeneous_rate": sum(s.homogeneous for s in self.sections) / n,
             "count_plausible_rate": sum(s.count_plausible for s in self.sections) / n,
             "marker_hit_rate": sum(s.marker_hit for s in self.sections) / n,
+            # Marker agreement among the sections that *were* found: a
+            # legitimately absent section cannot hit its markers, so the
+            # all-sections rate above dips on every sparse query; this
+            # rate only moves when located sections lose their markers —
+            # the cleanest template-drift signal the monitor watches.
+            "marker_hit_found_rate": (
+                sum(s.marker_hit for s in found) / len(found) if found else 0.0
+            ),
             "mean_homogeneity": (
                 sum(s.homogeneity for s in found) / len(found) if found else 0.0
             ),
+        }
+
+    def to_obj(self) -> Dict[str, Any]:
+        """The machine-readable health document (``check --json``, events).
+
+        Schema: ``{"score", "drifted", "metrics", "sections": [{"schema",
+        "status", "record_count", "typical_records", "homogeneity",
+        "checks"}]}`` — everything the human-readable ``check`` output
+        prints, as JSON for monitors and CI to consume.
+        """
+        sections = []
+        for section in self.sections:
+            status = (
+                "ok"
+                if section.healthy
+                else ("absent" if not section.found else "suspect")
+            )
+            sections.append(
+                {
+                    "schema": section.schema_id,
+                    "status": status,
+                    "record_count": section.record_count,
+                    "typical_records": section.typical_records,
+                    "homogeneity": section.homogeneity,
+                    "checks": section.checks,
+                }
+            )
+        return {
+            "score": self.score,
+            "drifted": self.drifted,
+            "metrics": self.metrics,
+            "sections": sections,
         }
 
 

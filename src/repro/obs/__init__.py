@@ -15,6 +15,16 @@ See the "Observability" section of README.md for the span taxonomy and
 the stats JSON schema.
 """
 
+from repro.obs.health import (
+    DriftAlarm,
+    Ewma,
+    HealthEventLog,
+    HealthTracker,
+    PageHinkley,
+    RollingWindow,
+    StreamState,
+    read_health_events,
+)
 from repro.obs.metrics import MetricsRegistry, TimingStats
 from repro.obs.report import render_metrics, render_report, render_tree
 from repro.obs.trace import (
@@ -27,13 +37,21 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DriftAlarm",
+    "Ewma",
+    "HealthEventLog",
+    "HealthTracker",
     "MetricsRegistry",
+    "PageHinkley",
+    "RollingWindow",
+    "StreamState",
     "TimingStats",
     "NULL_OBSERVER",
     "NullObserver",
     "Observer",
     "ObserverLike",
     "SpanNode",
+    "read_health_events",
     "read_jsonl",
     "render_metrics",
     "render_report",

@@ -250,24 +250,37 @@ class Observer:
         the parallel harnesses — the evaluation pool and the pipeline
         runner's page fan-out — combine per-worker observers into one
         aggregate trace: a caller may rewrite ``parent`` before merging
-        to nest a worker's top-level spans under a host span.  Spans are
-        pre-order in the document, so a parent's node always exists
-        before its children are grafted; documents from before the
-        ``parent`` field fall back to grafting by ``path``.
+        to nest a worker's top-level spans under a host span.
+
+        A doc's ``parent`` names a path *in the worker's tree*; once a
+        rewritten ancestor has moved, that path no longer matches this
+        tree.  Grafted nodes are therefore remembered under their
+        original document paths, and each doc's parent resolves against
+        those first — so whole subtrees follow their relocated root
+        instead of splitting off at this tree's root.  Spans are
+        pre-order in the document, so a parent is always grafted before
+        its children; documents from before the ``parent`` field fall
+        back to grafting by ``path``.
         """
+        grafted: Dict[str, SpanNode] = {}
         for doc in stats.get("spans", []):
+            path = doc.get("path", "")
             parent = doc.get("parent")
             if parent is None:
-                parent, _, _ = doc["path"].rpartition("/")
-            node = self.root
-            if parent:
-                for name in parent.split("/"):
-                    node = node.child(name)
-            node = node.child(doc.get("name") or doc["path"].rpartition("/")[2])
+                parent, _, _ = path.rpartition("/")
+            node = grafted.get(parent)
+            if node is None:
+                node = self.root
+                if parent:
+                    for name in parent.split("/"):
+                        node = node.child(name)
+            node = node.child(doc.get("name") or path.rpartition("/")[2])
             node.calls += doc.get("calls", 0)
             node.seconds += doc.get("seconds", 0.0)
             for name, amount in doc.get("counters", {}).items():
                 node.count(name, amount)
+            if path:
+                grafted[path] = node
         self.metrics.merge_snapshot(stats.get("metrics", {}))
 
     # -- persistence ----------------------------------------------------

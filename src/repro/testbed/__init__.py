@@ -21,12 +21,23 @@ from repro.testbed.corpus import (
 )
 from repro.testbed.documents import RecordData, Repository
 from repro.testbed.engine import SectionSchemaSpec, SyntheticEngine
+from repro.testbed.evolution import (
+    MUTATIONS,
+    EvolutionTruth,
+    EvolvingEnginePages,
+    TemplateMutation,
+    evolve_engine,
+    load_evolving_pages,
+)
 from repro.testbed.groundtruth import PageTruth, TruthSection, compute_truth
 
 __all__ = [
     "CORPUS_SEED",
     "EnginePages",
+    "EvolutionTruth",
+    "EvolvingEnginePages",
     "MULTI_SECTION_ENGINES",
+    "MUTATIONS",
     "PAGES_PER_ENGINE",
     "PageTruth",
     "RecordData",
@@ -36,11 +47,14 @@ __all__ = [
     "SectionSchemaSpec",
     "SyntheticEngine",
     "TOTAL_ENGINES",
+    "TemplateMutation",
     "TruthSection",
     "boundary_marker_rate",
     "compute_truth",
     "engine_ids",
+    "evolve_engine",
     "iter_corpus",
     "load_engine_pages",
+    "load_evolving_pages",
     "make_engine",
 ]

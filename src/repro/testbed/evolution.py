@@ -1,0 +1,211 @@
+"""Template evolution: engines that mutate their markup mid-corpus.
+
+Real engines redesign result pages under a deployed wrapper; the paper's
+corpus (and ours, until now) only varies *which* sections appear, never
+the template itself.  An :class:`EvolvingEnginePages` workload renders
+pages ``0 .. mutate_at-1`` with the original engine and every later page
+with a deterministically mutated copy, so drift-detection latency and
+recovery success are measurable against exact ground truth (*when* the
+template changed, and whether the change is detectable at all).
+
+Mutations, matching the drift families the monitor must catch:
+
+- ``marker_rewrite`` — every section header is re-worded ("Web" becomes
+  "Featured Web"): the wrapper still locates and partitions sections,
+  but its SBM texts no longer match (marker-agreement drift);
+- ``style_swap`` — every section re-renders in the next layout style
+  (``ul-li`` becomes ``table-row``, ...): prefs and separators miss, the
+  sections are lost outright (structural drift);
+- ``section_drop`` — the engine retires its last section schema: that
+  schema is permanently absent from every later page (schema drift —
+  deliberately hard to tell from query-dependent absence);
+- ``header_retag`` — headers keep their text but change element (``h2``
+  becomes ``div``, ...): a *benign* redesign the wrapper survives, the
+  negative control for false-positive tests.
+
+Record content is untouched by every mutation (the mutated engine reuses
+the original :class:`~repro.testbed.documents.Repository` objects), so a
+health change is attributable to the template alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.testbed.corpus import SAMPLE_PAGES, make_engine
+from repro.testbed.engine import HEADER_TAGS, SyntheticEngine
+from repro.testbed.sections import ALL_STYLES
+
+
+class TemplateMutation:
+    """One deterministic template change applied to a whole engine."""
+
+    #: registry key and event label
+    name = "base"
+    #: whether the mutation should be *detectable* as drift
+    breaking = True
+
+    def apply(self, engine: SyntheticEngine) -> SyntheticEngine:
+        """A mutated copy of ``engine`` (the original is untouched)."""
+        raise NotImplementedError
+
+    def is_noop(self, engine: SyntheticEngine) -> bool:
+        """Whether the mutation cannot change this engine's pages."""
+        return False
+
+
+class MarkerRewrite(TemplateMutation):
+    """Re-word every section header: boundary-marker texts shift."""
+
+    name = "marker_rewrite"
+
+    def apply(self, engine: SyntheticEngine) -> SyntheticEngine:
+        sections = [
+            replace(spec, topic=f"Featured {spec.topic}")
+            for spec in engine.sections
+        ]
+        return replace(engine, sections=sections)
+
+
+class StyleSwap(TemplateMutation):
+    """Re-render every section in the next layout style: prefs miss."""
+
+    name = "style_swap"
+
+    def apply(self, engine: SyntheticEngine) -> SyntheticEngine:
+        sections = []
+        for spec in engine.sections:
+            index = ALL_STYLES.index(spec.style)
+            swapped = ALL_STYLES[(index + 1) % len(ALL_STYLES)]
+            sections.append(replace(spec, style=swapped))
+        return replace(engine, sections=sections)
+
+    def is_noop(self, engine: SyntheticEngine) -> bool:
+        # Shared-table engines render all sections as rows of one tbody;
+        # per-section styles never reach the page.
+        return engine.shared_table
+
+
+class SectionDrop(TemplateMutation):
+    """Retire the last section schema: permanent absence."""
+
+    name = "section_drop"
+
+    def apply(self, engine: SyntheticEngine) -> SyntheticEngine:
+        return replace(engine, sections=engine.sections[:-1])
+
+    def is_noop(self, engine: SyntheticEngine) -> bool:
+        return not engine.sections
+
+
+class HeaderRetag(TemplateMutation):
+    """Headers keep their text, change element — a benign redesign."""
+
+    name = "header_retag"
+    breaking = False
+
+    def apply(self, engine: SyntheticEngine) -> SyntheticEngine:
+        tag = engine.options.header_tag
+        index = HEADER_TAGS.index(tag) if tag in HEADER_TAGS else 0
+        retagged = HEADER_TAGS[(index + 1) % len(HEADER_TAGS)]
+        options = replace(engine.options, header_tag=retagged)
+        return replace(engine, options=options)
+
+    def is_noop(self, engine: SyntheticEngine) -> bool:
+        # Shared-table engines hard-code their row headers.
+        return engine.shared_table or all(
+            not spec.has_header for spec in engine.sections
+        )
+
+
+MUTATIONS: Dict[str, TemplateMutation] = {
+    mutation.name: mutation
+    for mutation in (MarkerRewrite(), StyleSwap(), SectionDrop(), HeaderRetag())
+}
+
+
+@dataclass(frozen=True)
+class EvolutionTruth:
+    """Ground truth of one evolving workload."""
+
+    engine_id: int
+    mutation: str
+    #: index of the first page rendered by the mutated template
+    mutate_at: int
+    total_pages: int
+    #: whether detectable drift is expected at all (False for benign
+    #: mutations and for engines the mutation cannot touch)
+    drift_expected: bool
+
+    def detection_latency(self, detected_at: int) -> int:
+        """Pages between the mutation and its detection."""
+        return detected_at - self.mutate_at
+
+
+@dataclass
+class EvolvingEnginePages:
+    """One engine's evolving workload: pages, both engines, ground truth."""
+
+    engine: SyntheticEngine
+    mutated: SyntheticEngine
+    queries: List[str]
+    pages: List[str]
+    truth: EvolutionTruth
+
+    @property
+    def sample_set(self) -> List[Tuple[str, str]]:
+        """(html, query) pairs safe for induction (all pre-mutation)."""
+        count = min(SAMPLE_PAGES, self.truth.mutate_at)
+        return list(zip(self.pages[:count], self.queries[:count]))
+
+    def stream(self, start: int = SAMPLE_PAGES) -> List[Tuple[str, str]]:
+        """The served (html, query) stream from page ``start`` on."""
+        return list(zip(self.pages[start:], self.queries[start:]))
+
+
+def evolve_engine(engine: SyntheticEngine, mutation: str) -> SyntheticEngine:
+    """A mutated copy of ``engine`` under the named mutation."""
+    return MUTATIONS[mutation].apply(engine)
+
+
+def load_evolving_pages(
+    engine_id: int,
+    mutation: str,
+    mutate_at: int = 12,
+    total_pages: int = 24,
+) -> EvolvingEnginePages:
+    """One engine's evolving workload with exact ground truth.
+
+    Pages ``0 .. mutate_at-1`` come from the pristine engine, the rest
+    from its mutated copy; queries follow the engine's deterministic
+    query stream, so two calls produce byte-identical corpora.
+    """
+    if mutation not in MUTATIONS:
+        raise ValueError(
+            f"unknown mutation {mutation!r}; choose from {sorted(MUTATIONS)}"
+        )
+    if not 2 <= mutate_at <= total_pages:
+        raise ValueError("mutate_at must be in [2, total_pages]")
+    rule = MUTATIONS[mutation]
+    engine = make_engine(engine_id)
+    mutated = rule.apply(engine)
+    queries = engine.queries(total_pages)
+    pages = [
+        (engine if index < mutate_at else mutated).result_page(query)
+        for index, query in enumerate(queries)
+    ]
+    truth = EvolutionTruth(
+        engine_id=engine_id,
+        mutation=mutation,
+        mutate_at=mutate_at,
+        total_pages=total_pages,
+        drift_expected=rule.breaking and not rule.is_noop(engine),
+    )
+    return EvolvingEnginePages(
+        engine=engine,
+        mutated=mutated,
+        queries=queries,
+        pages=pages,
+        truth=truth,
+    )

@@ -360,3 +360,117 @@ class TestMergeStats:
         parent = Observer()
         parent.merge_stats(worker.stats())
         assert [node.path for node in parent.spans()] == ["render"]
+
+    def test_merge_snapshot_empty_snapshot_is_noop(self):
+        target = MetricsRegistry()
+        target.count("items", 2)
+        target.gauge("rate", 0.5)
+        target.observe("lap", 1.0)
+        before = target.snapshot()
+        target.merge_snapshot({})
+        target.merge_snapshot({"counters": {}, "gauges": {}, "timings": {}})
+        assert target.snapshot() == before
+
+    def test_merge_snapshot_disjoint_keys_union(self):
+        target = MetricsRegistry()
+        target.count("a", 1)
+        target.observe("t1", 1.0)
+        source = MetricsRegistry()
+        source.count("b", 2)
+        source.gauge("g", 9.0)
+        source.observe("t2", 2.0)
+        target.merge_snapshot(source.snapshot())
+        snap = target.snapshot()
+        assert snap["counters"] == {"a": 1, "b": 2}
+        assert snap["gauges"] == {"g": 9.0}
+        assert set(snap["timings"]) == {"t1", "t2"}
+        assert snap["timings"]["t2"]["total"] == 2.0
+
+    def test_merge_snapshot_repeated_merges_accumulate(self):
+        source = MetricsRegistry()
+        source.count("items", 3)
+        source.observe("lap", 2.0)
+        snapshot = source.snapshot()
+        target = MetricsRegistry()
+        for _ in range(3):
+            target.merge_snapshot(snapshot)
+        snap = target.snapshot()
+        assert snap["counters"]["items"] == 9
+        assert snap["timings"]["lap"]["count"] == 3
+        assert snap["timings"]["lap"]["total"] == 6.0
+        assert snap["timings"]["lap"]["min"] == 2.0
+        assert snap["timings"]["lap"]["max"] == 2.0
+
+    def test_rewritten_parent_carries_nested_children(self):
+        # A harness nests a worker's spans under a host span by rewriting
+        # only the *top-level* docs' parent; nested docs still name their
+        # worker-relative parents and must follow the relocated subtree.
+        worker = Observer(clock=FakeClock())
+        with worker.span("mre"):
+            with worker.span("sub"):
+                worker.count("sub.items", 3)
+        stats = worker.stats()
+        for doc in stats["spans"]:
+            if doc["parent"] == "":
+                doc["parent"] = "fanout"
+
+        host = Observer(clock=FakeClock())
+        with host.span("fanout"):
+            pass
+        host.merge_stats(stats)
+        assert [node.path for node in host.spans()] == [
+            "fanout",
+            "fanout/mre",
+            "fanout/mre/sub",
+        ]
+        by_path = {node.path: node for node in host.spans()}
+        assert by_path["fanout/mre/sub"].counters["sub.items"] == 3
+
+    def test_grafted_spans_survive_jsonl_round_trip(self):
+        # write -> read -> merge -> render_tree must keep the grafted
+        # hierarchy: one tree rooted at the host span, no phantom roots.
+        clock = FakeClock()
+        worker = Observer(clock=clock)
+        with worker.span("mre"):
+            clock.advance(0.25)
+            with worker.span("sub"):
+                clock.advance(0.5)
+        stats = worker.stats()
+        for doc in stats["spans"]:
+            if doc["parent"] == "":
+                doc["parent"] = "fanout"
+        host = Observer(clock=FakeClock())
+        with host.span("fanout"):
+            pass
+        host.merge_stats(stats)
+
+        buffer = io.StringIO()
+        host.write_jsonl(buffer)
+        doc = read_jsonl(io.StringIO(buffer.getvalue()))
+        fresh = Observer(clock=FakeClock())
+        fresh.merge_stats(doc)
+        assert [node.path for node in fresh.spans()] == [
+            "fanout",
+            "fanout/mre",
+            "fanout/mre/sub",
+        ]
+        tree = render_tree(fresh)
+        assert "fanout" in tree and "sub" in tree
+        # A split tree would render a phantom top-level "mre" root.
+        top_level = [n.name for n in fresh.root.children.values()]
+        assert top_level == ["fanout"]
+
+
+class TestZeroSpanReport:
+    def test_render_report_with_zero_span_observer(self):
+        obs = Observer(clock=FakeClock())
+        obs.count("items", 2)
+        report = render_report(obs, "empty run")
+        assert report.startswith("empty run (calls")
+        assert "(no spans recorded)" in report
+        assert "items" in report
+
+    def test_render_report_fresh_observer(self):
+        report = render_report(Observer(clock=FakeClock()), "fresh")
+        assert "(no spans recorded)" in report
+        assert "(none)" in render_metrics(Observer(clock=FakeClock()))
