@@ -1,0 +1,246 @@
+"""Serving-path benchmark: interpreted vs compiled vs compiled+jobs.
+
+Models the production serving loop: one wrapper per engine, induced once
+from that engine's sample pages, then applied to a stream of result
+pages *with health monitoring* (what :class:`repro.monitor
+.WrapperMonitor` does per served page).  Three modes are timed over the
+same corpus:
+
+- **interpreted serve** — ``EngineWrapper.extract`` followed by
+  ``check_wrapper`` per page: the pre-compile monitoring cost (two
+  parses, two renders, two application sweeps);
+- **compiled serve** — ``CompiledWrapper.serve``: one shared
+  render+index, one application sweep, extraction and health assembled
+  from the same per-schema results (:mod:`repro.perf.serve`);
+- **compiled + jobs** — ``extract_many`` fanning pages over worker
+  processes (throughput only; per-page latency is meaningless across
+  pool workers).
+
+An honest extract-only comparison (``EngineWrapper.extract`` vs
+``CompiledWrapper.extract``) is also recorded: rendering dominates
+single extraction, so the compiled win there is real but modest — the
+headline is the serving workload, where the shared render halves the
+per-page cost outright before the automaton/index savings kick in.
+
+Every timed page is also a parity check: the compiled extraction must
+serialize byte-identically to the interpreted one, and the compiled
+health document byte-identically to ``check_wrapper``'s.
+
+Environment overrides:
+
+- ``REPRO_BENCH_SERVE`` — output path (default ``BENCH_serve.json``);
+- ``REPRO_BENCH_SERVE_ENGINES`` — engine-count cap (0 = full corpus);
+- ``REPRO_BENCH_SERVE_MIN_SPEEDUP`` — serve speedup gate (default 2.0;
+  CI uses a softer gate on shared runners);
+- ``REPRO_BENCH_SERVE_JOBS`` — worker count for the jobs mode;
+- ``REPRO_BENCH_SERVE_REPEATS`` — timing repetitions per page (default
+  3; the minimum is kept, the ``timeit`` methodology — scheduler jitter
+  only ever adds time, so min-of-K is the estimator of true cost).
+
+Runnable as a pytest target (``pytest benchmarks/bench_serve.py``) or
+directly (``python benchmarks/bench_serve.py``).
+"""
+
+import json
+import os
+import time
+from dataclasses import asdict
+
+from repro.core.mse import build_wrapper
+from repro.core.verify import check_wrapper
+from repro.perf.serve import compile_wrapper, extract_many
+from repro.testbed import engine_ids, load_engine_pages
+
+OUTPUT = os.environ.get("REPRO_BENCH_SERVE", "BENCH_serve.json")
+ENGINE_LIMIT = int(os.environ.get("REPRO_BENCH_SERVE_ENGINES", "0"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SERVE_MIN_SPEEDUP", "2.0"))
+JOBS = int(os.environ.get("REPRO_BENCH_SERVE_JOBS", "4"))
+REPEATS = int(os.environ.get("REPRO_BENCH_SERVE_REPEATS", "3"))
+
+
+def _best_of(fn):
+    """(min elapsed over REPEATS runs, last result) for a thunk.
+
+    Noise from the scheduler and allocator is strictly additive, so the
+    minimum over repetitions estimates the true per-page cost; every
+    repetition does the full work, so the result is the same each time.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(max(1, REPEATS)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _extraction_bytes(extraction):
+    return json.dumps(asdict(extraction), sort_keys=True)
+
+
+def _health_bytes(health):
+    return json.dumps(health.to_obj(), sort_keys=True)
+
+
+def _percentile(sorted_values, q):
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _mode_stats(latencies):
+    total = sum(latencies)
+    ordered = sorted(latencies)
+    return {
+        "seconds": total,
+        "pages_per_sec": len(latencies) / total if total else 0.0,
+        "p50_ms": _percentile(ordered, 0.50) * 1e3,
+        "p99_ms": _percentile(ordered, 0.99) * 1e3,
+    }
+
+
+def _serve_workload():
+    """(engine wrappers, per-page (wrapper index, markup, query) tasks)."""
+    ids = list(engine_ids())
+    if ENGINE_LIMIT:
+        ids = ids[:ENGINE_LIMIT]
+    engines = []
+    tasks = []
+    for position, engine_id in enumerate(ids):
+        pages = load_engine_pages(engine_id)
+        engines.append(build_wrapper(list(pages.sample_set)))
+        for markup, query in list(pages.sample_set) + list(pages.test_set):
+            tasks.append((position, markup, query))
+    return engines, tasks
+
+
+def test_serve_bench_emitted():
+    engines, tasks = _serve_workload()
+    assert tasks, "empty serve workload"
+    compiled = [compile_wrapper(engine) for engine in engines]
+
+    # Steady state: a serving loop runs for months, not once.  One
+    # untimed pass warms the process-wide memos and interners for *both*
+    # modes (they share the kernel caches), so the timed pass below
+    # measures the regime the monitor actually operates in; per-page
+    # work (parse, render, index, application) is rebuilt every serve
+    # either way.
+    for position, markup, query in tasks:
+        engines[position].extract(markup, query)
+        check_wrapper(engines[position], markup, query)
+        compiled[position].serve(markup, query)
+
+    interpreted_serve = []
+    compiled_serve = []
+    interpreted_extract = []
+    compiled_extract = []
+    for position, markup, query in tasks:
+        engine = engines[position]
+        fast = compiled[position]
+
+        elapsed, (ref_extraction, ref_health) = _best_of(
+            lambda: (
+                engine.extract(markup, query),
+                check_wrapper(engine, markup, query),
+            )
+        )
+        interpreted_serve.append(elapsed)
+
+        elapsed, served = _best_of(lambda: fast.serve(markup, query))
+        compiled_serve.append(elapsed)
+
+        elapsed, ref_only = _best_of(lambda: engine.extract(markup, query))
+        interpreted_extract.append(elapsed)
+
+        elapsed, fast_only = _best_of(lambda: fast.extract(markup, query))
+        compiled_extract.append(elapsed)
+
+        # Parity: the measured results, not a separate run.
+        assert _extraction_bytes(served.extraction) == _extraction_bytes(
+            ref_extraction
+        ), "compiled serve extraction diverged from EngineWrapper.extract"
+        assert _extraction_bytes(fast_only) == _extraction_bytes(
+            ref_only
+        ), "compiled extract diverged from EngineWrapper.extract"
+        assert _health_bytes(served.health) == _health_bytes(
+            ref_health
+        ), "compiled health diverged from check_wrapper"
+
+    pages = [(markup, query) for _, markup, query in tasks]
+    wrapper_of = [position for position, _, _ in tasks]
+    start = time.perf_counter()
+    batch = extract_many(pages, compiled, jobs=JOBS, wrapper_of=wrapper_of)
+    jobs_seconds = time.perf_counter() - start
+    for (position, markup, query), row in zip(tasks, batch):
+        assert len(row) == 1
+        assert _extraction_bytes(row[0]) == _extraction_bytes(
+            engines[position].extract(markup, query)
+        ), "extract_many(jobs) diverged from EngineWrapper.extract"
+
+    modes = {
+        "interpreted_serve": _mode_stats(interpreted_serve),
+        "compiled_serve": _mode_stats(compiled_serve),
+        "interpreted_extract": _mode_stats(interpreted_extract),
+        "compiled_extract": _mode_stats(compiled_extract),
+        "compiled_jobs": {
+            "jobs": JOBS,
+            "seconds": jobs_seconds,
+            "pages_per_sec": (
+                len(pages) / jobs_seconds if jobs_seconds else 0.0
+            ),
+        },
+    }
+    speedups = {
+        # The headline: serving with monitoring, single thread.
+        "serve": (
+            modes["interpreted_serve"]["seconds"]
+            / modes["compiled_serve"]["seconds"]
+        ),
+        # Extract-only (render-bound; kept honest, not gated).
+        "extract": (
+            modes["interpreted_extract"]["seconds"]
+            / modes["compiled_extract"]["seconds"]
+        ),
+        # Batch throughput vs the single-thread interpreted serving loop.
+        "jobs_vs_interpreted_serve": (
+            modes["compiled_jobs"]["pages_per_sec"]
+            / modes["interpreted_serve"]["pages_per_sec"]
+        ),
+    }
+    assert speedups["serve"] >= MIN_SPEEDUP, (speedups, MIN_SPEEDUP)
+
+    doc = {
+        "format": "repro-serve-bench",
+        "version": 1,
+        "workload": {
+            "engines": len(engines),
+            "pages": len(pages),
+            "pages_per_engine": len(pages) // max(1, len(engines)),
+            "min_speedup_gate": MIN_SPEEDUP,
+            "warmup_passes": 1,
+            "timing_repeats": REPEATS,
+        },
+        "modes": modes,
+        "speedups": speedups,
+        "parity": {"pages_checked": len(pages), "mismatches": 0},
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nserve bench written to {OUTPUT}")
+    for name, row in modes.items():
+        line = (f"  {name:<20s} {row['seconds'] * 1e3:>9.1f}ms  "
+                f"{row['pages_per_sec']:>7.1f} pages/sec")
+        if "p50_ms" in row:
+            line += (f"  p50 {row['p50_ms']:>6.2f}ms  "
+                     f"p99 {row['p99_ms']:>6.2f}ms")
+        print(line)
+    print(f"  serve speedup {speedups['serve']:.2f}x  "
+          f"extract-only {speedups['extract']:.2f}x  "
+          f"jobs({JOBS}) {speedups['jobs_vs_interpreted_serve']:.2f}x")
+
+
+if __name__ == "__main__":
+    test_serve_bench_emitted()

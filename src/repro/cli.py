@@ -2,7 +2,10 @@
 
     python -m repro induce  -o wrapper.json page1.html:query1 page2.html:query2 ...
                     [--jobs N] [--checkpoint-dir DIR] [--resume]
-    python -m repro extract -w wrapper.json page.html [--query "..."] [--json]
+    python -m repro extract -w wrapper.json page1.html[:q1] [page2.html[:q2] ...]
+                    [--query "..."] [--json]
+    python -m repro serve   -w wrapper.json [-w more.json ...] --pages page1.html[:q1] ...
+                    [--jobs N] [--json FILE]
     python -m repro check   -w wrapper.json page.html [--query "..."] [--json FILE]
     python -m repro monitor -w wrapper.json page1.html:q1 page2.html:q2 ...
                     [--window N] [--threshold X] [--heal] [--events FILE]
@@ -12,7 +15,12 @@
 
 ``induce`` builds a wrapper from sample pages (each argument is an HTML
 file path, optionally suffixed ``:query terms``); ``extract`` applies a
-saved wrapper to a page and prints sections/records (or JSON);
+saved wrapper to one or more pages and prints sections/records — with
+``--json`` it emits one array with a per-page timing entry; ``serve``
+runs the compiled batch path (:mod:`repro.perf.serve`): wrappers are
+compiled once, each page is parsed/rendered/indexed once and every
+wrapper is applied to the shared index, reporting pages/sec and p50/p99
+per-page latency (``--jobs N`` fans pages out over worker processes);
 ``check`` reports wrapper health on one page (``--json FILE`` writes the
 machine-readable breakdown); ``monitor`` feeds a stream of pages through
 the sliding-window drift monitor — with ``--heal`` it re-induces and
@@ -42,6 +50,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.annotate import annotate_record
@@ -127,32 +136,150 @@ def cmd_induce(args) -> int:
     return 0
 
 
+def _section_payload(section) -> dict:
+    return {
+        "schema": section.schema_id,
+        "lbm": section.lbm_text,
+        "lines": list(section.line_span),
+        "records": [
+            {"lines": list(r.lines), "span": list(r.line_span),
+             "fields": annotate_record(r).fields}
+            for r in section.records
+        ],
+    }
+
+
 def cmd_extract(args) -> int:
     wrapper = load_wrapper(args.wrapper)
     obs = _observer_for(args)
-    extraction = wrapper.extract(_read(args.page), args.query, obs=obs)
+    # Read every page up front so a bad path fails before any output.
+    pages: List[Tuple[str, str, str]] = []
+    for arg in args.pages:
+        path, query = _split_page_arg(arg)
+        pages.append((path, _read(path), query or args.query))
+
+    payload = []
+    for path, markup, query in pages:
+        start = time.perf_counter()
+        extraction = wrapper.extract(markup, query, obs=obs)
+        seconds = time.perf_counter() - start
+        if args.json:
+            payload.append(
+                {
+                    "page": path,
+                    "query": query,
+                    "seconds": seconds,
+                    "sections": [
+                        _section_payload(section)
+                        for section in extraction.sections
+                    ],
+                }
+            )
+            continue
+        if len(pages) > 1:
+            print(f"== {path} ==")
+        print(f"{len(extraction)} section(s), "
+              f"{extraction.record_count} record(s)")
+        for section in extraction.sections:
+            print(f"\n[{section.lbm_text or section.schema_id}]")
+            for record in section.records:
+                print(f"  - {record.text}")
+        if len(pages) > 1:
+            print()
     _finish_obs(args, obs, "extract trace")
     if args.json:
-        payload = [
-            {
-                "schema": section.schema_id,
-                "lbm": section.lbm_text,
-                "lines": list(section.line_span),
-                "records": [
-                    {"lines": list(r.lines), "span": list(r.line_span),
-                     "fields": annotate_record(r).fields}
-                    for r in section.records
-                ],
-            }
-            for section in extraction.sections
-        ]
         print(json.dumps(payload, indent=2))
-        return 0
-    print(f"{len(extraction)} section(s), {extraction.record_count} record(s)")
-    for section in extraction.sections:
-        print(f"\n[{section.lbm_text or section.schema_id}]")
-        for record in section.records:
-            print(f"  - {record.text}")
+    return 0
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def cmd_serve(args) -> int:
+    from repro.perf.serve import (
+        build_page_index,
+        compile_wrapper,
+        extract_many,
+    )
+
+    page_args = list(args.pages) + list(args.pages_flag or [])
+    if not page_args:
+        print("serve: need at least one page (positional or --pages)",
+              file=sys.stderr)
+        return 2
+    engines = [load_wrapper(path) for path in args.wrapper]
+    pages: List[Tuple[str, str]] = []
+    paths: List[str] = []
+    for arg in page_args:
+        path, query = _split_page_arg(arg)
+        pages.append((_read(path), query or args.query))
+        paths.append(path)
+
+    obs = _observer_for(args)
+    compiled = [compile_wrapper(engine) for engine in engines]
+    latencies: Optional[List[float]] = None
+    if args.jobs <= 1:
+        results = []
+        latencies = []
+        start = time.perf_counter()
+        for markup, query in pages:
+            page_start = time.perf_counter()
+            index = build_page_index(markup, query, obs=obs)
+            results.append(
+                [one.extract_index(index, obs=obs) for one in compiled]
+            )
+            latencies.append(time.perf_counter() - page_start)
+        elapsed = time.perf_counter() - start
+    else:
+        start = time.perf_counter()
+        results = extract_many(pages, compiled, jobs=args.jobs, obs=obs)
+        elapsed = time.perf_counter() - start
+
+    doc = {
+        "format": "repro-serve-report",
+        "jobs": args.jobs,
+        "wrappers": list(args.wrapper),
+        "pages": [],
+        "wall_seconds": elapsed,
+        "pages_per_sec": len(pages) / elapsed if elapsed > 0 else 0.0,
+    }
+    for position, (path, row) in enumerate(zip(paths, results)):
+        entry = {
+            "page": path,
+            "sections": sum(len(extraction) for extraction in row),
+            "records": sum(
+                extraction.record_count for extraction in row
+            ),
+        }
+        if latencies is not None:
+            entry["seconds"] = latencies[position]
+        doc["pages"].append(entry)
+        print(f"  {path}: {entry['sections']} section(s), "
+              f"{entry['records']} record(s)")
+    if latencies:
+        ordered = sorted(latencies)
+        doc["latency"] = {
+            "p50_ms": _percentile(ordered, 0.50) * 1e3,
+            "p99_ms": _percentile(ordered, 0.99) * 1e3,
+        }
+        print(f"served {len(pages)} page(s) with {len(compiled)} compiled "
+              f"wrapper(s) in {elapsed:.3f}s "
+              f"({doc['pages_per_sec']:.1f} pages/sec, "
+              f"p50 {doc['latency']['p50_ms']:.2f}ms, "
+              f"p99 {doc['latency']['p99_ms']:.2f}ms)")
+    else:
+        print(f"served {len(pages)} page(s) with {len(compiled)} compiled "
+              f"wrapper(s) in {elapsed:.3f}s "
+              f"({doc['pages_per_sec']:.1f} pages/sec, jobs={args.jobs})")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    _finish_obs(args, obs, "serve trace")
     return 0
 
 
@@ -360,13 +487,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p_induce)
     p_induce.set_defaults(func=cmd_induce)
 
-    p_extract = sub.add_parser("extract", help="apply a wrapper to a page")
-    p_extract.add_argument("page", help="result page HTML file")
+    p_extract = sub.add_parser("extract", help="apply a wrapper to page(s)")
+    p_extract.add_argument(
+        "pages", nargs="+", help="result page HTML file(s), page.html[:query]"
+    )
     p_extract.add_argument("-w", "--wrapper", required=True)
-    p_extract.add_argument("--query", default="", help="query that produced the page")
-    p_extract.add_argument("--json", action="store_true", help="JSON output")
+    p_extract.add_argument(
+        "--query", default="",
+        help="query for pages without an inline :query suffix",
+    )
+    p_extract.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON array with per-page sections and timing",
+    )
     _add_obs_flags(p_extract)
     p_extract.set_defaults(func=cmd_extract)
+
+    p_serve = sub.add_parser(
+        "serve", help="batch-extract pages with compiled wrappers"
+    )
+    p_serve.add_argument(
+        "pages", nargs="*", help="result page HTML file(s), page.html[:query]"
+    )
+    p_serve.add_argument(
+        "--pages", dest="pages_flag", nargs="+", metavar="PAGE",
+        help="additional page.html[:query] arguments",
+    )
+    p_serve.add_argument(
+        "-w", "--wrapper", action="append", required=True,
+        help="wrapper JSON path (repeat to serve several engines' wrappers)",
+    )
+    p_serve.add_argument(
+        "--query", default="",
+        help="query for pages without an inline :query suffix",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for page serving (1 = serial, with p50/p99)",
+    )
+    p_serve.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the serve report (per-page counts, throughput) to FILE",
+    )
+    _add_obs_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_check = sub.add_parser("check", help="wrapper health / drift detection")
     p_check.add_argument("page", help="result page HTML file")

@@ -29,6 +29,7 @@ from repro.core.model import SectionInstance
 from repro.core.wrapper import (
     SectionWrapper,
     SeparatorRule,
+    SpanLookup,
     partition_subtree_records,
 )
 from repro.features.blocks import Block
@@ -66,7 +67,19 @@ class SectionFamily:
     rbm_attrs: FrozenSet[TextAttr]
     family_id: str = ""
 
-    def apply(self, page: RenderedPage) -> List[Tuple[str, SectionInstance]]:
+    def apply(
+        self,
+        page: RenderedPage,
+        candidates: Optional[Sequence[Element]] = None,
+        span_of: Optional[SpanLookup] = None,
+    ) -> List[Tuple[str, SectionInstance]]:
+        """Extract this family's sections from one rendered page.
+
+        ``candidates`` may carry precomputed ``pref.find(root, slack=0)``
+        results and ``span_of`` a precomputed element -> line-span lookup
+        (both produced by the compiled serving path); when omitted the
+        family walks the DOM itself.
+        """
         raise NotImplementedError
 
 
@@ -77,16 +90,27 @@ class Type1Family(SectionFamily):
 
     pref: MergedTagPath = None  # type: ignore[assignment]
 
-    def apply(self, page: RenderedPage) -> List[Tuple[str, SectionInstance]]:
+    def apply(
+        self,
+        page: RenderedPage,
+        candidates: Optional[Sequence[Element]] = None,
+        span_of: Optional[SpanLookup] = None,
+    ) -> List[Tuple[str, SectionInstance]]:
+        if candidates is None:
+            candidates = self.pref.find(page.document.root, slack=0)
         out: List[Tuple[str, SectionInstance]] = []
-        for subtree in self.pref.find(page.document.root, slack=0):
-            out.extend(self._sections_of_subtree(page, subtree))
+        for subtree in candidates:
+            out.extend(self._sections_of_subtree(page, subtree, span_of))
         return out
 
     def _sections_of_subtree(
-        self, page: RenderedPage, subtree: Element
+        self,
+        page: RenderedPage,
+        subtree: Element,
+        span_of: Optional[SpanLookup] = None,
     ) -> List[Tuple[str, SectionInstance]]:
-        span = page.line_range_of_element(subtree)
+        lookup = span_of if span_of is not None else page.line_range_of_element
+        span = lookup(subtree)
         if span is None:
             return []
         start, end = span
@@ -113,7 +137,9 @@ class Type1Family(SectionFamily):
 
         out: List[Tuple[str, SectionInstance]] = []
         for index, (seg_start, seg_end, lbm) in enumerate(segments):
-            records = self._partition_segment(page, subtree, seg_start, seg_end)
+            records = self._partition_segment(
+                page, subtree, seg_start, seg_end, span_of
+            )
             if not records:
                 continue
             instance = SectionInstance(
@@ -137,13 +163,19 @@ class Type1Family(SectionFamily):
         return out
 
     def _partition_segment(
-        self, page: RenderedPage, subtree: Element, start: int, end: int
+        self,
+        page: RenderedPage,
+        subtree: Element,
+        start: int,
+        end: int,
+        span_of: Optional[SpanLookup] = None,
     ) -> List[Block]:
+        lookup = span_of if span_of is not None else page.line_range_of_element
         boundaries: List[int] = []
         for child in subtree.children:
             if not isinstance(child, Element):
                 continue
-            child_span = page.line_range_of_element(child)
+            child_span = lookup(child)
             if child_span is None or child_span[0] < start or child_span[0] > end:
                 continue
             if (
@@ -175,11 +207,19 @@ class Type2Family(SectionFamily):
     #: candidate position corresponds to which known schema
     member_positions: Dict[Tuple[int, ...], str] = field(default_factory=dict)
 
-    def apply(self, page: RenderedPage) -> List[Tuple[str, SectionInstance]]:
+    def apply(
+        self,
+        page: RenderedPage,
+        candidates: Optional[Sequence[Element]] = None,
+        span_of: Optional[SpanLookup] = None,
+    ) -> List[Tuple[str, SectionInstance]]:
+        if candidates is None:
+            candidates = self.pref.find(page.document.root, slack=0)
+        lookup = span_of if span_of is not None else page.line_range_of_element
         out: List[Tuple[str, SectionInstance]] = []
         hidden = 0
-        for subtree in self.pref.find(page.document.root, slack=0):
-            span = page.line_range_of_element(subtree)
+        for subtree in candidates:
+            span = lookup(subtree)
             if span is None:
                 continue
             start, end = span
@@ -188,7 +228,9 @@ class Type2Family(SectionFamily):
                 continue  # the attribute-marker confirmation failed
             if not _separator_applies(subtree, self.separator):
                 continue  # structurally alien: not a member of this family
-            records = partition_subtree_records(page, subtree, self.separator)
+            records = partition_subtree_records(
+                page, subtree, self.separator, span_of=span_of
+            )
             if not records:
                 continue
             key = _flexible_key(self.pref, subtree)

@@ -22,15 +22,19 @@ Checks, each contributing to a [0, 1] health score:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.model import SectionInstance
 
 from repro.core.dse import clean_page_lines
 from repro.core.wrapper import EngineWrapper, apply_section_wrapper
 from repro.features.cohesion import inter_record_distance
 from repro.features.record_distance import RecordDistanceCache
-from repro.htmlmod.dom import Document
+from repro.htmlmod.dom import Document, Element
 from repro.htmlmod.parser import parse_html
 from repro.obs import NULL_OBSERVER, ObserverLike
+from repro.perf.fingerprints import ATTR_INTERNER
+from repro.perf.kernels import DINR_MEMO
 from repro.render.layout import render_page
 
 #: mean Drec above which a section's records no longer cohere
@@ -195,51 +199,135 @@ def check_wrapper(
         page = render_page(document)
         clean_page_lines(page, query.split())
 
-        cache = RecordDistanceCache(engine.config)
-        outcomes: List[SectionHealth] = []
-        for wrapper in engine.wrappers:
-            instance = apply_section_wrapper(wrapper, page)
-            if instance is None:
-                outcomes.append(
-                    SectionHealth(schema_id=wrapper.schema_id, found=False)
-                )
-                continue
+        instances = [
+            apply_section_wrapper(wrapper, page) for wrapper in engine.wrappers
+        ]
+        return health_from_applications(engine, instances, obs=obs)
+
+
+def _section_dinr_key(
+    config: Any, instance: SectionInstance
+) -> Optional[Tuple[Any, ...]]:
+    """A process-wide memo key determining a section's Dinr exactly.
+
+    Every record fingerprint — and hence every pairwise Drec and their
+    mean — is a deterministic function of (a) the per-line visual
+    features over the section's line span, (b) the section subtree's
+    tag structure together with where each rendered leaf falls among
+    those lines, and (c) the records' line boundaries within the span.
+    Capturing exactly those three (plus the config) lets the serving
+    loop skip re-deriving per-record tag forests and fingerprints when
+    it has met the same section line-up before.  Unrenderable children
+    are omitted: they influence neither the forests (``span_forest``
+    filters to elements, and element children are always captured) nor
+    the line features.
+
+    Returns None when the section has no locatable subtree (the caller
+    then computes Dinr directly).
+    """
+    records = instance.records
+    page = records[0].page
+    start = records[0].start
+    end = records[-1].end
+    root = page.span_subtree(start, end)
+    if root is None:
+        return None
+    leaf_line = page.leaf_line_map()
+
+    def node_key(node: Element) -> Tuple[Any, ...]:
+        children: List[Any] = []
+        for child in node.children:
+            if isinstance(child, Element):
+                children.append(node_key(child))
+            else:
+                line = leaf_line.get(id(child))  # lint: allow DET01 -- page-local identity key, never crosses a process
+                if line is not None:
+                    children.append(line - start)
+        own = leaf_line.get(id(node))  # lint: allow DET01 -- page-local identity key, never crosses a process
+        return (
+            node.tag,
+            -1 if own is None else own - start,
+            tuple(children),
+        )
+
+    mask = ATTR_INTERNER.mask
+    line_features = tuple(
+        (line.line_type, line.position, mask(line.attrs))
+        for line in page.lines[start : end + 1]
+    )
+    boundaries = tuple((r.start - start, r.end - start) for r in records)
+    return (config, node_key(root), line_features, boundaries)
+
+
+def health_from_applications(
+    engine: EngineWrapper,
+    instances: Sequence[Optional[SectionInstance]],
+    obs: ObserverLike = NULL_OBSERVER,
+) -> WrapperHealth:
+    """Score per-wrapper application results into a :class:`WrapperHealth`.
+
+    ``instances`` is aligned with ``engine.wrappers`` — one (possibly
+    None) :class:`SectionInstance` per section wrapper, as produced by
+    :func:`repro.core.wrapper.apply_section_wrapper` or by the compiled
+    serving path.  :func:`check_wrapper` is exactly render + apply-all +
+    this function; the compiled path reuses the same applications for
+    extraction *and* health, so both stay bit-identical by construction.
+    """
+    cache = RecordDistanceCache(engine.config)
+    outcomes: List[SectionHealth] = []
+    for wrapper, instance in zip(engine.wrappers, instances):
+        if instance is None:
+            outcomes.append(
+                SectionHealth(schema_id=wrapper.schema_id, found=False)
+            )
+            continue
+        memo_key = (
+            _section_dinr_key(engine.config, instance)
+            if engine.config.fast_kernels and len(instance.records) >= 2
+            else None
+        )
+        memoized = DINR_MEMO.get(memo_key) if memo_key is not None else None
+        if memoized is not None:
+            homogeneity = memoized
+        else:
             homogeneity = inter_record_distance(
                 instance.records, engine.config, cache
             )
-            outcomes.append(
-                SectionHealth(
-                    schema_id=wrapper.schema_id,
-                    found=True,
-                    record_count=len(instance.records),
-                    typical_records=wrapper.typical_records,
-                    homogeneity=homogeneity,
-                    marker_hit=instance.score >= 1.0,
-                )
+            if memo_key is not None:
+                DINR_MEMO.store(memo_key, homogeneity)
+        outcomes.append(
+            SectionHealth(
+                schema_id=wrapper.schema_id,
+                found=True,
+                record_count=len(instance.records),
+                typical_records=wrapper.typical_records,
+                homogeneity=homogeneity,
+                marker_hit=instance.score >= 1.0,
             )
+        )
 
-        obs.count("check.cache.hits", cache.hits)
-        obs.count("check.cache.misses", cache.misses)
-        if not outcomes:
-            obs.count("check.pages_drifted")
-            return WrapperHealth(sections=(), score=0.0)
+    obs.count("check.cache.hits", cache.hits)
+    obs.count("check.cache.misses", cache.misses)
+    if not outcomes:
+        obs.count("check.pages_drifted")
+        return WrapperHealth(sections=(), score=0.0)
 
-        score = 0.0
-        for health in outcomes:
-            obs.count("check.sections")
-            if health.healthy:
-                score += 1.0
-                obs.count("check.sections_healthy")
-            elif not health.found:
-                score += 0.4  # absence can be legitimate (query dependence)
-                obs.count("check.sections_absent")
-            else:
-                obs.count("check.sections_suspect")
-        score /= len(outcomes)
-        health = WrapperHealth(sections=tuple(outcomes), score=score)
-        if health.drifted:
-            obs.count("check.pages_drifted")
-        return health
+    score = 0.0
+    for health in outcomes:
+        obs.count("check.sections")
+        if health.healthy:
+            score += 1.0
+            obs.count("check.sections_healthy")
+        elif not health.found:
+            score += 0.4  # absence can be legitimate (query dependence)
+            obs.count("check.sections_absent")
+        else:
+            obs.count("check.sections_suspect")
+    score /= len(outcomes)
+    health = WrapperHealth(sections=tuple(outcomes), score=score)
+    if health.drifted:
+        obs.count("check.pages_drifted")
+    return health
 
 
 def check_wrapper_on_pages(

@@ -19,8 +19,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from bisect import bisect_left, bisect_right
 from typing import (
     TYPE_CHECKING,
+    Callable,
     Dict,
     FrozenSet,
     List,
@@ -210,11 +212,21 @@ def _derive_separator(instances: Sequence[SectionInstance]) -> SeparatorRule:
 # ---------------------------------------------------------------------------
 
 
+#: ``span_of`` hook: a precomputed element -> line-span lookup (see
+#: :class:`repro.perf.serve.PageIndex`); None falls back to the page's
+#: per-call subtree walk.
+SpanLookup = Callable[[Element], Optional[Tuple[int, int]]]
+
+
 def partition_subtree_records(
-    page: RenderedPage, subtree: Element, separator: SeparatorRule
+    page: RenderedPage,
+    subtree: Element,
+    separator: SeparatorRule,
+    span_of: Optional[SpanLookup] = None,
 ) -> List[Block]:
     """Partition a located section subtree into record blocks."""
-    span = page.line_range_of_element(subtree)
+    lookup = span_of if span_of is not None else page.line_range_of_element
+    span = lookup(subtree)
     if span is None:
         return []
     start, end = span
@@ -225,7 +237,7 @@ def partition_subtree_records(
     for child in subtree.children:
         if not isinstance(child, Element):
             continue
-        child_span = page.line_range_of_element(child)
+        child_span = lookup(child)
         if child_span is None:
             continue
         if separator.kind == "per-child" or child.tag == separator.tag:
@@ -281,9 +293,13 @@ def apply_section_wrapper(
     Returns the best-scoring candidate section, or None when the schema
     has no instance on this page.
     """
-    candidates = wrapper.pref.find(page.document.root, slack=0)
-    if not candidates:
-        candidates = wrapper.pref.find(page.document.root, slack=POSITION_SLACK)
+    # One traversal finds both the exact and the slack-relaxed candidate
+    # sets; exact matches win when any exist (identical to running the
+    # exact pass first and falling back to a second slack pass).
+    exact, slacked = wrapper.pref.find_with_slack(
+        page.document.root, POSITION_SLACK
+    )
+    candidates = exact if exact else slacked
     if not candidates:
         return None
 
@@ -457,12 +473,19 @@ def _dedup_instances(
             item[1].start,
         ),
     )
+    # Kept instances are pairwise disjoint by construction, so sorted by
+    # start their ends are sorted too, and a candidate [s, e] can only
+    # overlap the kept interval with the greatest start <= e: one bisect
+    # replaces the all-pairs scan (winner set and order are unchanged).
     kept: List[Tuple[str, SectionInstance]] = []
+    starts: List[int] = []
+    ends: List[int] = []
     for schema_id, instance in ordered:
-        clash = any(
-            instance.start <= other.end and other.start <= instance.end
-            for _, other in kept
-        )
-        if not clash:
-            kept.append((schema_id, instance))
+        pos = bisect_right(starts, instance.end)
+        if pos > 0 and ends[pos - 1] >= instance.start:
+            continue
+        kept.append((schema_id, instance))
+        at = bisect_left(starts, instance.start)
+        starts.insert(at, instance.start)
+        ends.insert(at, instance.end)
     return kept

@@ -17,13 +17,14 @@ from repro.render.linetypes import LineType
 from repro.render.styles import TextAttr
 
 if TYPE_CHECKING:
+    from repro.htmlmod.dom import Element
     from repro.perf.fingerprints import BlockFingerprint
 
 
 class Block:
     """A consecutive span of content lines ``start..end`` (inclusive)."""
 
-    __slots__ = ("page", "start", "end", "_forest", "_fp")
+    __slots__ = ("page", "start", "end", "_elements", "_forest", "_fp")
 
     def __init__(self, page: RenderedPage, start: int, end: int) -> None:
         if start > end:
@@ -33,6 +34,7 @@ class Block:
         self.page = page
         self.start = start
         self.end = end
+        self._elements: Optional[List["Element"]] = None
         self._forest: Optional[List[OrderedTree]] = None
         #: lazily filled by repro.perf.fingerprints.block_fingerprint
         self._fp: Optional["BlockFingerprint"] = None
@@ -93,12 +95,24 @@ class Block:
         """Concatenated member text (debug/reporting)."""
         return " / ".join(line.text for line in self.lines if line.text)
 
+    def span_elements(self) -> List["Element"]:
+        """The forest's root elements (``page.span_forest``, cached)."""
+        if self._elements is None:
+            self._elements = self.page.span_forest(self.start, self.end)
+        return self._elements
+
     def tag_forest(self) -> List[OrderedTree]:
-        """The tag forest underneath this block (cached)."""
+        """The tag forest underneath this block (cached).
+
+        Fingerprinting reads the forest *signatures* straight off
+        :meth:`span_elements`; the :class:`OrderedTree` forms built here
+        are only needed when a tree-edit dynamic program actually runs
+        (a miss in every distance memo), so they stay lazy.
+        """
         if self._forest is None:
             self._forest = [
                 OrderedTree.from_tuple(element.tag_signature())
-                for element in self.page.span_forest(self.start, self.end)
+                for element in self.span_elements()
             ]
         return self._forest
 

@@ -21,7 +21,7 @@ from repro.features.blocks import Block
 from repro.features.config import DEFAULT_CONFIG, FeatureConfig
 from repro.features.line_distance import position_distance, text_attr_distance
 from repro.perf.fingerprints import block_fingerprint, masked_attr_distance
-from repro.perf.kernels import fast_forest_distance
+from repro.perf.kernels import RECORD_MEMO, lazy_forest_distance
 from repro.render.linetypes import type_distance
 
 
@@ -95,13 +95,27 @@ def record_distance(
     if fp1 == fp2:
         # Identical features (including position): all five terms are 0.
         return 0.0
+    # Drec is a pure function of the two fingerprints and the config, so
+    # the weighted sum is memoized process-wide: the serving loop's
+    # health checks meet the same record-style pairs on page after page.
+    # The pair is canonicalized by the fingerprints' value hashes, which
+    # is deterministic for equal fingerprints wherever they were built.
+    if hash(fp1) <= hash(fp2):
+        memo_key = (config, fp1, fp2)
+    else:
+        memo_key = (config, fp2, fp1)
+    memoized = RECORD_MEMO.get(memo_key)
+    if memoized is not None:
+        return memoized
     v1, v2, v3, v4, v5 = config.record_weights
 
     if fp1.forest_sig is fp2.forest_sig:
         dtf = 0.0
     else:
-        dtf = fast_forest_distance(
-            block1.tag_forest(), block2.tag_forest(), fp1.forest_sig, fp2.forest_sig
+        # Thunked: the OrderedTree forests are only materialized when the
+        # forest memo misses — in the warm serving loop, almost never.
+        dtf = lazy_forest_distance(
+            block1.tag_forest, block2.tag_forest, fp1.forest_sig, fp2.forest_sig
         )
 
     if fp1.type_codes is fp2.type_codes:
@@ -131,7 +145,9 @@ def record_distance(
             fp1.attr_masks, fp2.attr_masks, substitution_cost=masked_attr_distance
         )
 
-    return v1 * dtf + v2 * dbt + v3 * dbs + v4 * dbp + v5 * dbta
+    result = v1 * dtf + v2 * dbt + v3 * dbs + v4 * dbp + v5 * dbta
+    RECORD_MEMO.store(memo_key, result)
+    return result
 
 
 def _record_distance_reference(

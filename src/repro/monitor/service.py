@@ -3,8 +3,13 @@
 :class:`WrapperMonitor` is a deterministic state machine over a stream
 of served pages:
 
-``healthy`` — every page is scored by ``check_wrapper`` and its metric
-dict feeds the :class:`~repro.obs.health.HealthTracker`.  A confirmed
+``healthy`` — every page is scored through the engine's *compiled*
+wrapper (:func:`repro.perf.serve.compile_wrapper`): one shared render
+yields the page's extraction and a health document bit-identical to
+``check_wrapper``'s, and the health's metric dict feeds the
+:class:`~repro.obs.health.HealthTracker`.  Callers who also want the
+extracted records use :meth:`WrapperMonitor.serve_page` — serving and
+monitoring cost a single render+apply pass per page.  A confirmed
 :class:`~repro.obs.health.DriftAlarm` (Page–Hinkley alarm *and* EWMA
 below the health threshold) transitions to
 
@@ -35,9 +40,10 @@ from typing import Deque, Dict, Optional, Tuple
 
 from repro.core.mse import build_wrapper
 from repro.core.mse_config import MSEConfig
-from repro.core.verify import WrapperHealth, check_wrapper
+from repro.core.verify import WrapperHealth
 from repro.core.wrapper import EngineWrapper
 from repro.obs import NULL_OBSERVER, ObserverLike
+from repro.perf.serve import CompiledWrapper, ServedPage, compile_wrapper
 from repro.obs.health import (
     DEFAULT_STREAMS,
     DriftAlarm,
@@ -141,6 +147,7 @@ class WrapperMonitor:
         log: Optional[HealthEventLog] = None,
     ) -> None:
         self.wrapper = wrapper
+        self.compiled: CompiledWrapper = compile_wrapper(wrapper)
         self.config = config or MonitorConfig()
         self.mse_config = mse_config
         self.obs = obs
@@ -198,11 +205,24 @@ class WrapperMonitor:
         wrapper that served it, i.e. before any hot swap this call may
         perform).
         """
+        return self.serve_page(markup, query).health
+
+    def serve_page(self, markup: str, query: str = "") -> ServedPage:
+        """Serve one page: extraction plus monitored health, one render.
+
+        The compiled wrapper applies every schema once and assembles both
+        the page's :class:`~repro.core.model.PageExtraction` and its
+        health from the shared results, so a monitored serving loop pays
+        one render+apply pass per page instead of the two an
+        ``extract`` + ``check_wrapper`` pair costs.  The health feeds the
+        same drift state machine as :meth:`observe_page`.
+        """
         run = self._run
         obs = self.obs
         with obs.span("monitor"):
             self._buffer.append((markup, query))
-            health = check_wrapper(self.wrapper, markup, query, obs=obs)
+            served = self.compiled.serve(markup, query, obs=obs)
+            health = served.health
             metrics = health.metrics
             alarm = self.tracker.update(metrics)
             obs.count("monitor.pages")
@@ -227,7 +247,7 @@ class WrapperMonitor:
                 obs.gauge(f"monitor.{name}.ewma", snap["ewma"])
                 obs.gauge(f"monitor.{name}.mean", snap["mean"])
             run.page += 1
-        return health
+        return served
 
     # -- drift ----------------------------------------------------------
     def _confirm_drift(self, alarm: DriftAlarm) -> None:
@@ -302,7 +322,10 @@ class WrapperMonitor:
             resumed=cfg.checkpoint_dir is not None,
         )
 
-        post = check_wrapper(candidate, markup, query, obs=self.obs)
+        # The candidate is compiled up front: its health check runs on
+        # the compiled path, and a successful swap reuses the compilation.
+        compiled_candidate = compile_wrapper(candidate)
+        post = compiled_candidate.serve(markup, query, obs=self.obs).health
         recovered = post.score >= cfg.threshold
         self.log.append(
             "heal",
@@ -314,6 +337,7 @@ class WrapperMonitor:
             # Keep serving the old wrapper; fresher samples next retry.
             return False
         self.wrapper = candidate
+        self.compiled = compiled_candidate
         self.tracker.reset()
         run.state = HEALTHY
         run.heals += 1

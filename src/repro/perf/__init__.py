@@ -1,4 +1,4 @@
-"""Hot-kernel optimisation layer: fingerprints, memoized kernels, stats.
+"""Hot-kernel optimisation layer: fingerprints, memoized kernels, serving.
 
 The distance kernels of §4 — Zhang–Shasha tree edit (Dtf), generalized
 Levenshtein (Dbt/Dbs/Dbta) and the O(n²) cohesion sums of Formulas 5–7 —
@@ -9,21 +9,30 @@ implementations:
 
 - :mod:`repro.perf.fingerprints` — per-block compact signatures:
   attribute-set bitmasks (Dtal by popcount), interned feature tuples,
-  flattened post-order tag-forest signatures;
+  flattened post-order tag-forest signatures, plus the process-wide
+  text interner the serving path keys its marker tables on;
 - :mod:`repro.perf.kernels` — process-wide tree/forest distance memos
   keyed on those signatures, with hit/miss statistics surfaced as
-  ``perf.*`` observability gauges.
+  ``perf.*`` observability gauges;
+- :mod:`repro.perf.serve` — the *extraction* hot path: compiled engine
+  wrappers (one merged tagpath automaton per engine, precompiled marker
+  tables), the shared per-page line/span index, and the batch
+  ``extract_many`` entry point behind ``python -m repro serve``.
 
 See the "Performance" section of DESIGN.md for how the layers fit, and
-``benchmarks/bench_kernels.py`` for the per-kernel micro-benchmarks that
-feed ``BENCH_kernels.json``.
+``benchmarks/bench_kernels.py`` / ``benchmarks/bench_serve.py`` for the
+benchmarks feeding ``BENCH_kernels.json`` and ``BENCH_serve.json``.
 """
+
+from typing import Any
 
 from repro.perf.fingerprints import (
     ATTR_INTERNER,
+    TEXT_INTERNER,
     TUPLE_INTERNER,
     AttrInterner,
     BlockFingerprint,
+    TextInterner,
     TupleInterner,
     block_fingerprint,
     interned_forest_signature,
@@ -41,18 +50,56 @@ from repro.perf.kernels import (
     observe_kernel_gauges,
 )
 
-__all__ = [
+# repro.perf.serve imports back into repro.core (which itself reaches
+# repro.perf.fingerprints through the feature kernels), so an eager
+# import here would close an import cycle during partial init.  The
+# serve names are exported lazily instead (PEP 562); `import
+# repro.perf.serve` also works directly.
+_SERVE_EXPORTS = frozenset(
+    {
+        "CompiledSectionWrapper",
+        "CompiledWrapper",
+        "PageApplications",
+        "PageIndex",
+        "ServedPage",
+        "TagPathAutomaton",
+        "build_page_index",
+        "compile_wrapper",
+        "extract_many",
+    }
+)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SERVE_EXPORTS:
+        from repro.perf import serve
+
+        return getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [  # lint: allow API01 -- serve names resolve lazily via module __getattr__ (PEP 562)
     "ATTR_INTERNER",
     "FOREST_MEMO",
+    "TEXT_INTERNER",
     "TREE_MEMO",
     "TUPLE_INTERNER",
     "AttrInterner",
     "BlockFingerprint",
+    "CompiledSectionWrapper",
+    "CompiledWrapper",
+    "PageApplications",
+    "PageIndex",
     "PairMemo",
+    "ServedPage",
     "SignedTree",
+    "TagPathAutomaton",
+    "TextInterner",
     "TupleInterner",
     "block_fingerprint",
+    "build_page_index",
     "clear_kernel_caches",
+    "compile_wrapper",
+    "extract_many",
     "fast_forest_distance",
     "fast_normalized_tree_distance",
     "interned_forest_signature",

@@ -22,9 +22,10 @@ codes, tag structures) are tiny compared to the number of comparisons.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Iterable, Tuple
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from repro.algorithms.tree_edit import OrderedTree, tree_signature
+from repro.algorithms.tree_edit import OrderedTree, TreeSignature, tree_signature
+from repro.htmlmod.dom import Element
 from repro.render.styles import TextAttr
 
 if TYPE_CHECKING:
@@ -51,13 +52,17 @@ class AttrInterner:
     size)`` pair; each distinct frozenset is converted exactly once.
     """
 
-    __slots__ = ("_bits", "_masks", "hits", "misses")
+    __slots__ = ("_bits", "_masks", "hits", "misses", "generation")
 
     def __init__(self) -> None:
         self._bits: Dict[TextAttr, int] = {}
         self._masks: Dict[FrozenSet[TextAttr], AttrMask] = {}
         self.hits = 0
         self.misses = 0
+        #: bumped on every clear() — masks from different generations use
+        #: different bit assignments and must never be compared (compiled
+        #: wrappers re-derive theirs when the generation moves)
+        self.generation = 0
 
     def mask(self, attrs: FrozenSet[TextAttr]) -> AttrMask:
         found = self._masks.get(attrs)
@@ -90,6 +95,55 @@ class AttrInterner:
         self._masks.clear()
         self.hits = 0
         self.misses = 0
+        self.generation += 1
+
+
+class TextInterner:
+    """Process-wide ``str -> int`` registry for content-line text keys.
+
+    The serving path matches boundary-marker texts against cleaned line
+    texts millions of times; interning both sides turns every comparison
+    into small-int equality and lets per-page occurrence tables key on
+    ints.  Ids are only meaningful within one ``generation`` — a compiled
+    wrapper holding ids from before a :func:`clear` re-interns them.
+    """
+
+    __slots__ = ("_ids", "hits", "misses", "generation")
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        #: bumped on every clear() — stale-id guard for compiled wrappers
+        self.generation = 0
+
+    def intern(self, text: str) -> int:
+        found = self._ids.get(text)
+        if found is None:
+            self.misses += 1
+            found = self._ids[text] = len(self._ids)
+        else:
+            self.hits += 1
+        return found
+
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "entries": len(self._ids),
+            "generation": self.generation,
+        }
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def clear(self) -> None:
+        self._ids.clear()
+        self.hits = 0
+        self.misses = 0
+        self.generation += 1
 
 
 class TupleInterner:
@@ -117,6 +171,7 @@ class TupleInterner:
 #: process-wide interners; cleared by repro.perf.clear_kernel_caches()
 ATTR_INTERNER = AttrInterner()
 TUPLE_INTERNER = TupleInterner()
+TEXT_INTERNER = TextInterner()
 
 
 def masked_attr_distance(mask1: AttrMask, mask2: AttrMask) -> float:
@@ -138,7 +193,9 @@ def masked_attr_distance(mask1: AttrMask, mask2: AttrMask) -> float:
 class BlockFingerprint:
     """Immutable compact signature of one block's §4.2 features."""
 
-    __slots__ = ("type_codes", "shape", "position", "attr_masks", "forest_sig")
+    __slots__ = (
+        "type_codes", "shape", "position", "attr_masks", "forest_sig", "_hash"
+    )
 
     def __init__(
         self,
@@ -153,6 +210,7 @@ class BlockFingerprint:
         self.position = position
         self.attr_masks = attr_masks
         self.forest_sig = forest_sig
+        self._hash: Optional[int] = None
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -170,10 +228,16 @@ class BlockFingerprint:
         )
 
     def __hash__(self) -> int:
-        return hash(
-            (self.type_codes, self.shape, self.position, self.attr_masks,
-             self.forest_sig)
-        )
+        # Cached: fingerprints key the process-wide record-distance memo,
+        # where re-hashing the (potentially large) forest signature on
+        # every lookup would eat the memoization win.
+        found = self._hash
+        if found is None:
+            found = self._hash = hash(
+                (self.type_codes, self.shape, self.position, self.attr_masks,
+                 self.forest_sig)
+            )
+        return found
 
     def __repr__(self) -> str:
         return (
@@ -188,18 +252,69 @@ def interned_forest_signature(forest: Iterable[OrderedTree]) -> Interned:
     return intern(tuple(intern(tree_signature(tree)) for tree in forest))
 
 
+def element_tree_signature(element: Element) -> TreeSignature:
+    """The :func:`~repro.algorithms.tree_edit.tree_signature` of an
+    element's tag tree, computed directly off the DOM.
+
+    Equal to ``tree_signature(OrderedTree.from_tuple(element.tag_signature()))``
+    but in a single subtree walk instead of three (signature-tuple build,
+    tree build, post-order annotation) — the fingerprint hot path only
+    needs the signature; the :class:`OrderedTree` form stays lazy on the
+    block for the rare distance-memo miss.
+    """
+    for child in element.children:
+        if isinstance(child, Element):
+            break
+    else:
+        # The common case on record forests: a childless tag is its own
+        # post-order, leftmost leaf 0.
+        return ((element.tag, 0),)
+    labels: List[str] = []
+    lml: List[int] = []
+
+    def visit(node: Element) -> int:
+        my_lml = -1
+        for child in node.children:
+            if isinstance(child, Element):
+                child_lml = visit(child)
+                if my_lml < 0:
+                    my_lml = child_lml  # parent shares the first child's lml
+        if my_lml < 0:
+            my_lml = len(labels)  # a leaf is its own leftmost leaf
+        labels.append(node.tag)
+        lml.append(my_lml)
+        return my_lml
+
+    visit(element)
+    return tuple(zip(labels, lml))
+
+
+def interned_element_forest_signature(forest: Iterable[Element]) -> Interned:
+    """Like :func:`interned_forest_signature`, straight off the DOM forest."""
+    intern = TUPLE_INTERNER.intern
+    return intern(
+        tuple(intern(element_tree_signature(element)) for element in forest)
+    )
+
+
 def block_fingerprint(block: "Block") -> BlockFingerprint:
-    """The (cached) fingerprint of a :class:`repro.features.blocks.Block`."""
+    """The (cached) fingerprint of a :class:`repro.features.blocks.Block`.
+
+    The three line-feature tuples are read in one pass over one slice of
+    the page's lines — value-identical to the block's ``type_codes`` /
+    ``shape`` / ``text_attrs`` properties, which each re-slice.
+    """
     fp = block._fp
     if fp is None:
+        lines = block.page.lines[block.start : block.end + 1]
+        base = lines[0].position
+        mask = ATTR_INTERNER.mask
         intern = TUPLE_INTERNER.intern
         fp = block._fp = BlockFingerprint(  # lint: allow PUR01 -- idempotent fill of the block's own cache slot
-            type_codes=intern(block.type_codes),
-            shape=intern(block.shape),
-            position=block.position,
-            attr_masks=intern(
-                tuple(ATTR_INTERNER.mask(attrs) for attrs in block.text_attrs)
-            ),
-            forest_sig=interned_forest_signature(block.tag_forest()),
+            type_codes=intern(tuple(line.line_type for line in lines)),
+            shape=intern(tuple(line.position - base for line in lines)),
+            position=base,
+            attr_masks=intern(tuple(mask(line.attrs) for line in lines)),
+            forest_sig=interned_element_forest_signature(block.span_elements()),
         )
     return fp

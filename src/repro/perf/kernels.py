@@ -21,13 +21,14 @@ functions of the signatures.  Every memo keeps hit/miss counters
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.algorithms.string_edit import normalized_edit_distance
 from repro.algorithms.tree_edit import OrderedTree, tree_edit_distance
 from repro.obs import ObserverLike
 from repro.perf.fingerprints import (
     ATTR_INTERNER,
+    TEXT_INTERNER,
     TUPLE_INTERNER,
     Interned,
     interned_forest_signature,
@@ -66,7 +67,23 @@ class PairMemo:
             self.hits += 1
         return key, found
 
-    def store(self, key: Tuple[Any, Any], value: float) -> None:
+    def get(self, key: Any) -> Optional[float]:
+        """Counted lookup for callers that canonicalize their own keys.
+
+        :func:`repro.features.record_distance.record_distance` orders its
+        fingerprint pair by the fingerprints' (cached) value hashes —
+        identity ordering would split one logical pair across two keys
+        whenever equal fingerprints are distinct objects, which is the
+        common cross-page case.
+        """
+        found = self._table.get(key)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def store(self, key: Any, value: float) -> None:
         if len(self._table) < self.max_entries:
             self._table[key] = value
 
@@ -96,6 +113,21 @@ class PairMemo:
 #: process-wide memos; cleared by :func:`clear_kernel_caches`
 TREE_MEMO = PairMemo("tree_memo")
 FOREST_MEMO = PairMemo("forest_memo")
+
+#: whole-Drec memo keyed on ``(config, fingerprint, fingerprint)`` — the
+#: record distance is a pure function of the two block fingerprints and
+#: the feature config, so one weighted-sum computation per distinct
+#: record-style pair serves the whole process (the serving loop's health
+#: checks re-meet the same styles on every page of an engine).
+RECORD_MEMO = PairMemo("record_memo")
+
+#: whole-section homogeneity memo keyed on ``(config, record
+#: fingerprints...)`` — Dinr (Formula 5) is the mean of pairwise Drec
+#: values, each pure in its fingerprint pair, so the section-level mean
+#: is pure in the ordered fingerprint tuple.  Health checks meet the
+#: same record line-up page after page; a warm hit skips the whole
+#: pairwise loop.
+DINR_MEMO = PairMemo("dinr_memo")
 
 
 class SignedTree:
@@ -175,12 +207,41 @@ def fast_forest_distance(
     return found
 
 
+def lazy_forest_distance(
+    forest1: Callable[[], Sequence[OrderedTree]],
+    forest2: Callable[[], Sequence[OrderedTree]],
+    sig1: Interned,
+    sig2: Interned,
+) -> float:
+    """:func:`fast_forest_distance` with forest construction deferred.
+
+    The callers that sit behind further memo layers (``record_distance``)
+    already hold interned signatures; the :class:`OrderedTree` forests
+    are only needed when the forest memo itself misses, so they are
+    built by thunk — in the warm serving loop that is almost never.
+    """
+    if sig1 is sig2 or sig1 == sig2:
+        return 0.0
+    key, found = FOREST_MEMO.lookup(sig1, sig2)
+    if found is None:
+        signed1 = [SignedTree(t, s) for t, s in zip(forest1(), sig1)]
+        signed2 = [SignedTree(t, s) for t, s in zip(forest2(), sig2)]
+        found = normalized_edit_distance(
+            signed1, signed2, substitution_cost=fast_normalized_tree_distance
+        )
+        FOREST_MEMO.store(key, found)
+    return found
+
+
 def kernel_cache_stats() -> Dict[str, Dict[str, float]]:
     """Snapshot of every process-wide kernel cache, keyed by cache name."""
     return {
         "tree_memo": TREE_MEMO.stats(),
         "forest_memo": FOREST_MEMO.stats(),
+        "record_memo": RECORD_MEMO.stats(),
+        "dinr_memo": DINR_MEMO.stats(),
         "attr_interner": ATTR_INTERNER.stats(),
+        "text_interner": TEXT_INTERNER.stats(),
         "tuple_interner": {"entries": len(TUPLE_INTERNER)},
     }
 
@@ -189,7 +250,10 @@ def clear_kernel_caches() -> None:
     """Reset every process-wide memo/interner (benchmarks, tests)."""
     TREE_MEMO.clear()
     FOREST_MEMO.clear()
+    RECORD_MEMO.clear()
+    DINR_MEMO.clear()
     ATTR_INTERNER.clear()
+    TEXT_INTERNER.clear()
     TUPLE_INTERNER.clear()
 
 

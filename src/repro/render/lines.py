@@ -75,6 +75,16 @@ class RenderedPage:
     def __getitem__(self, index: int) -> ContentLine:
         return self.lines[index]
 
+    def leaf_line_map(self) -> Dict[int, int]:
+        """The ``id(leaf) -> line number`` map backing the DOM<->line links.
+
+        Exposed (read-only by convention) so one-pass indexers — e.g.
+        :class:`repro.perf.serve.PageIndex` — can fold every element's
+        line span in a single post-order walk instead of re-walking each
+        subtree per :meth:`line_range_of_element` call.
+        """
+        return self._leaf_to_line
+
     def line_of_node(self, node: Node) -> Optional[int]:
         """The line number rendering ``node``, if it is (or contains) a leaf."""
         direct = self._leaf_to_line.get(id(node))
@@ -106,21 +116,72 @@ class RenderedPage:
         returns the consecutive run of its children that covers the span.
         This is the "tag forest underneath a record/section" of §4.1.
         """
-        leaves: List[Node] = []
-        for line in self.lines[start : end + 1]:
-            leaves.extend(line.leaves)
-        if not leaves:
+        span_lines = self.lines[start : end + 1]
+        first_leaf: Optional[Node] = None
+        last_leaf: Optional[Node] = None
+        for line in span_lines:
+            if line.leaves:
+                if first_leaf is None:
+                    first_leaf = line.leaves[0]
+                last_leaf = line.leaves[-1]
+        if first_leaf is None or last_leaf is None:
             return []
-        ancestor = deepest_common_ancestor(leaves)
-        if ancestor is None:
+        # Rendering walks the DOM pre-order, so the span's leaves are in
+        # document order, and every subtree covers a contiguous run of
+        # them.  The deepest element containing all span leaves therefore
+        # equals the deepest common ancestor of the *first and last* leaf
+        # alone, and those two leaves' holders (the direct child of the
+        # ancestor on each one's path) bound the child run — no per-leaf
+        # collection or per-sibling subtree scans needed.
+        first_chain = _ancestor_chain(first_leaf)
+        if last_leaf is first_leaf:
+            last_chain = first_chain
+        else:
+            last_chain = _ancestor_chain(last_leaf)
+        shortest = min(len(first_chain), len(last_chain))
+        depth_found = -1
+        for depth in range(shortest):
+            if first_chain[depth] is last_chain[depth]:
+                depth_found = depth
+            else:
+                break
+        if depth_found < 0:
             return []
-        leaf_ids = {id(leaf) for leaf in leaves}
+        ancestor = first_chain[depth_found]
+
+        def holder_of(leaf: Node, chain: List[Element]) -> Node:
+            return (
+                chain[depth_found + 1]
+                if len(chain) > depth_found + 1
+                else leaf
+            )
+
+        first_holder = holder_of(first_leaf, first_chain)
+        last_holder = holder_of(last_leaf, last_chain)
         first_index = last_index = None
         for i, child in enumerate(ancestor.children):
-            if _contains_any(child, leaf_ids):
-                if first_index is None:
-                    first_index = i
+            if first_index is None and child is first_holder:
+                first_index = i
+            if child is last_holder:
                 last_index = i
+        if first_index is None or last_index is None or first_index > last_index:
+            # Degenerate span (a holder is the ancestor itself, e.g. an
+            # element leaf acting as its own container): fall back to
+            # bounding the run over every leaf's holder.
+            leaves: List[Node] = []
+            for line in span_lines:
+                leaves.extend(line.leaves)
+            first_index = last_index = None
+            for leaf in leaves:
+                chain = _ancestor_chain(leaf)
+                holder = holder_of(leaf, chain)
+                for i, child in enumerate(ancestor.children):
+                    if child is holder:
+                        if first_index is None or i < first_index:
+                            first_index = i
+                        if last_index is None or i > last_index:
+                            last_index = i
+                        break
         if first_index is None or last_index is None:
             return []
         forest = [
@@ -136,17 +197,37 @@ class RenderedPage:
         return forest
 
     def span_subtree(self, start: int, end: int) -> Optional[Element]:
-        """The minimum subtree containing lines ``start..end`` inclusive."""
-        leaves: List[Node] = []
+        """The minimum subtree containing lines ``start..end`` inclusive.
+
+        By the document-order invariant (rendering walks the DOM
+        pre-order, so subtrees cover contiguous leaf runs) the deepest
+        common ancestor of *all* span leaves equals that of the first
+        and last alone — two ancestor chains instead of one per leaf.
+        """
+        first_leaf: Optional[Node] = None
+        last_leaf: Optional[Node] = None
         for line in self.lines[start : end + 1]:
-            leaves.extend(line.leaves)
-        if not leaves:
+            if line.leaves:
+                if first_leaf is None:
+                    first_leaf = line.leaves[0]
+                last_leaf = line.leaves[-1]
+        if first_leaf is None or last_leaf is None:
             return None
-        return deepest_common_ancestor(leaves)
+        return deepest_common_ancestor((first_leaf, last_leaf))
 
     def dump(self) -> str:
         """A human-readable rendering of the content lines (for examples)."""
         return "\n".join(str(line) for line in self.lines)
+
+
+def _ancestor_chain(node: Node) -> List[Element]:
+    """The node's element ancestry, root first (itself included if one)."""
+    out: List[Element] = []
+    if isinstance(node, Element):
+        out.append(node)
+    out.extend(node.ancestors())
+    out.reverse()  # root first
+    return out
 
 
 def deepest_common_ancestor(nodes: Sequence[Node]) -> Optional[Element]:
@@ -157,15 +238,7 @@ def deepest_common_ancestor(nodes: Sequence[Node]) -> Optional[Element]:
     if not nodes:
         return None
 
-    def chain(node: Node) -> List[Element]:
-        out: List[Element] = []
-        if isinstance(node, Element):
-            out.append(node)
-        out.extend(node.ancestors())
-        out.reverse()  # root first
-        return out
-
-    chains = [chain(node) for node in nodes]
+    chains = [_ancestor_chain(node) for node in nodes]
     shortest = min(len(c) for c in chains)
     ancestor: Optional[Element] = None
     for depth in range(shortest):
@@ -175,17 +248,3 @@ def deepest_common_ancestor(nodes: Sequence[Node]) -> Optional[Element]:
         else:
             break
     return ancestor
-
-
-def _contains_any(node: Node, leaf_ids: frozenset) -> bool:
-    if id(node) in leaf_ids:
-        return True
-    if isinstance(node, Element):
-        stack: List[Node] = list(node.children)
-        while stack:
-            current = stack.pop()
-            if id(current) in leaf_ids:
-                return True
-            if isinstance(current, Element):
-                stack.extend(current.children)
-    return False

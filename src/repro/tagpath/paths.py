@@ -265,3 +265,44 @@ class MergedTagPath:
             if not frontier:
                 break
         return frontier
+
+    def find_with_slack(
+        self, root: Element, slack: int
+    ) -> Tuple[List[Element], List[Element]]:
+        """``(find(root, 0), find(root, slack))`` in a single traversal.
+
+        The slack walk subsumes the exact walk (every exact match is a
+        slack match), so one BFS carrying an is-exact flag per frontier
+        entry replaces the two traversals callers used to run back to
+        back.  Both result lists are in document order and element-wise
+        identical to the corresponding :meth:`find` calls.
+        """
+        if not self.tags or root.tag != self.tags[0]:
+            return [], []
+        # (node, matched exactly so far) — exact matches stay a prefix-
+        # closed subset of the slack frontier.
+        frontier: List[Tuple[Element, bool]] = [(root, True)]
+        for level in range(1, len(self.tags)):
+            tag = self.tags[level]
+            fixed = self.fixed_counts[level]
+            next_frontier: List[Tuple[Element, bool]] = []
+            for node, exact in frontier:
+                index = 0
+                for child in node.children:
+                    if not isinstance(child, Element):
+                        continue
+                    if child.tag == tag:
+                        if fixed is None:
+                            next_frontier.append((child, exact))
+                        elif abs(index - fixed) <= slack:
+                            next_frontier.append(
+                                (child, exact and index == fixed)
+                            )
+                    index += 1
+            frontier = next_frontier
+            if not frontier:
+                break
+        return (
+            [node for node, exact in frontier if exact],
+            [node for node, _ in frontier],
+        )

@@ -81,8 +81,113 @@ class TestExtract:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert isinstance(payload, list)
-        assert payload and payload[0]["records"]
-        assert "fields" in payload[0]["records"][0]
+        assert len(payload) == 1
+        entry = payload[0]
+        assert entry["page"] == workspace["new_page"]
+        assert entry["query"] == workspace["new_query"]
+        assert entry["seconds"] >= 0.0
+        assert entry["sections"] and entry["sections"][0]["records"]
+        assert "fields" in entry["sections"][0]["records"][0]
+
+    def test_extract_multiple_pages(self, workspace, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        # Inline :query suffixes, as in induce/monitor page arguments.
+        code = main(
+            [
+                "extract",
+                "--json",
+                "-w",
+                workspace["wrapper"],
+                f"{workspace['new_page']}:{workspace['new_query']}",
+                workspace["samples"][0],
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 2
+        assert payload[0]["query"] == workspace["new_query"]
+        assert all("seconds" in entry for entry in payload)
+        assert all(entry["sections"] for entry in payload)
+
+    def test_extract_multiple_pages_text_headers(self, workspace, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        code = main(
+            [
+                "extract",
+                "-w",
+                workspace["wrapper"],
+                f"{workspace['new_page']}:{workspace['new_query']}",
+                workspace["samples"][0],
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("== ") == 2
+        assert "record(s)" in out
+
+
+class TestServe:
+    def test_serve_reports_throughput(self, workspace, tmp_path, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        report = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve",
+                "-w",
+                workspace["wrapper"],
+                "--json",
+                str(report),
+                f"{workspace['new_page']}:{workspace['new_query']}",
+                workspace["samples"][0],
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pages/sec" in out and "p99" in out
+        doc = json.loads(report.read_text())
+        assert doc["format"] == "repro-serve-report"
+        assert len(doc["pages"]) == 2
+        assert doc["pages_per_sec"] > 0
+        assert doc["latency"]["p50_ms"] >= 0.0
+        assert all(entry["records"] > 0 for entry in doc["pages"])
+
+    def test_serve_pages_flag_and_jobs_match_serial(
+        self, workspace, tmp_path, capsys
+    ):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        serial = tmp_path / "serial.json"
+        jobs = tmp_path / "jobs.json"
+        page_args = [
+            f"{workspace['new_page']}:{workspace['new_query']}",
+            *workspace["samples"][:2],
+        ]
+        assert main(
+            ["serve", "-w", workspace["wrapper"], "--json", str(serial),
+             "--pages", *page_args]
+        ) == 0
+        assert main(
+            ["serve", "-w", workspace["wrapper"], "--json", str(jobs),
+             "--jobs", "2", "--pages", *page_args]
+        ) == 0
+        capsys.readouterr()
+        a = json.loads(serial.read_text())
+        b = json.loads(jobs.read_text())
+        strip = lambda doc: [
+            {k: entry[k] for k in ("page", "sections", "records")}
+            for entry in doc["pages"]
+        ]
+        assert strip(a) == strip(b)
+
+    def test_serve_without_pages_fails(self, workspace, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        code = main(["serve", "-w", workspace["wrapper"]])
+        assert code == 2
+        assert "need at least one page" in capsys.readouterr().err
 
 
 class TestCheck:

@@ -212,6 +212,28 @@ def _spec(tree):
 
 
 class TestPairMemo:
+    def test_stats_cover_every_kernel_cache(self):
+        stats = kernel_cache_stats()
+        for name in (
+            "tree_memo",
+            "forest_memo",
+            "record_memo",
+            "dinr_memo",
+            "attr_interner",
+            "text_interner",
+            "tuple_interner",
+        ):
+            assert name in stats
+
+    def test_clear_resets_dinr_memo(self):
+        from repro.perf.kernels import DINR_MEMO
+
+        DINR_MEMO.store(("config", "key"), 0.25)
+        assert DINR_MEMO.get(("config", "key")) == 0.25
+        clear_kernel_caches()
+        assert DINR_MEMO.get(("config", "key")) is None
+        assert len(DINR_MEMO) == 0
+
     def test_symmetric_lookup(self):
         memo = PairMemo("t")
         a, b = ("a",), ("b",)
@@ -296,6 +318,55 @@ class TestFeatureFastPaths:
         fp = block_fingerprint(block)
         assert block_fingerprint(block) is fp
         assert len(fp.type_codes) == len(block)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_element_signature_matches_tree_signature(self, data):
+        """Single-walk DOM signatures == reference via OrderedTree."""
+        from repro.htmlmod.dom import Element
+        from repro.perf.fingerprints import element_tree_signature
+
+        page = data.draw(random_page())
+        for node in page.document.root.iter():
+            if isinstance(node, Element):
+                reference = tree_signature(
+                    OrderedTree.from_tuple(node.tag_signature())
+                )
+                assert element_tree_signature(node) == reference
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_span_forest_matches_all_leaf_reference(self, data):
+        """The two-chain span fast paths == the all-leaves reference.
+
+        ``span_forest`` and ``span_subtree`` both lean on the
+        document-order invariant (pre-order rendering => contiguous leaf
+        runs per subtree) to consider only the first and last span leaf;
+        the reference below works from every leaf.
+        """
+        from repro.render.lines import deepest_common_ancestor
+
+        page = data.draw(random_page())
+        block = random_block(data.draw, page)
+        leaves = []
+        for line in page.lines[block.start : block.end + 1]:
+            leaves.extend(line.leaves)
+        reference_subtree = (
+            deepest_common_ancestor(leaves) if leaves else None
+        )
+        assert page.span_subtree(block.start, block.end) is reference_subtree
+        forest = page.span_forest(block.start, block.end)
+        if reference_subtree is None:
+            assert forest == []
+        elif forest != [reference_subtree]:
+            # The forest is a consecutive run of the ancestor's element
+            # children (unrendered middles included), covering the span.
+            children = [
+                child
+                for child in reference_subtree.children
+                if child in forest
+            ]
+            assert children == forest
 
 
 # -- end to end -------------------------------------------------------------

@@ -74,6 +74,80 @@ class TestRoundTrip:
         restored = load_wrapper(str(path))
         assert len(restored.wrappers) == len(engine.wrappers)
 
+    def test_empty_marker_sets_survive(self, engine):
+        """A wrapper without boundary markers round-trips losslessly.
+
+        Markerless wrappers are legal (§5.7 markers are optional
+        evidence) and the serving path compiles them to empty lookup
+        tables — the serialized form must preserve the emptiness rather
+        than dropping or null-ing the fields.
+        """
+        from dataclasses import replace
+
+        from repro.core.wrapper import EngineWrapper
+
+        bare = EngineWrapper(
+            [
+                replace(
+                    wrapper,
+                    lbm_texts=set(),
+                    rbm_texts=set(),
+                    lbm_attrs=frozenset(),
+                    rbm_attrs=frozenset(),
+                )
+                for wrapper in engine.wrappers
+            ],
+            families=[],
+            config=engine.config,
+        )
+        restored = wrapper_from_json(wrapper_to_json(bare))
+        for a, b in zip(bare.wrappers, restored.wrappers):
+            assert b.lbm_texts == set()
+            assert b.rbm_texts == set()
+            assert b.lbm_attrs == frozenset()
+            assert b.rbm_attrs == frozenset()
+            assert a.markers_inside == b.markers_inside
+            assert a.typical_records == b.typical_records
+
+    def test_markers_inside_and_typical_records_survive(self, engine):
+        from dataclasses import replace
+
+        from repro.core.wrapper import EngineWrapper
+
+        flipped = EngineWrapper(
+            [
+                replace(
+                    wrapper,
+                    markers_inside=not wrapper.markers_inside,
+                    typical_records=wrapper.typical_records + 7,
+                )
+                for wrapper in engine.wrappers
+            ],
+            families=[],
+            config=engine.config,
+        )
+        restored = wrapper_from_json(wrapper_to_json(flipped))
+        for a, b in zip(flipped.wrappers, restored.wrappers):
+            assert a.markers_inside == b.markers_inside
+            assert a.typical_records == b.typical_records
+
+    def test_compiled_round_trip_extraction_identical(self, engine):
+        """compile_wrapper(load(save(w))) == w.extract, byte for byte."""
+        from dataclasses import asdict
+
+        from repro.perf.serve import compile_wrapper
+
+        restored = wrapper_from_json(wrapper_to_json(engine))
+        compiled = compile_wrapper(restored)
+        html = simple_result_page(
+            "elderberry", [("Web", make_records("Web", 4, "elderberry"))]
+        )
+        assert json.dumps(
+            asdict(compiled.extract(html, "elderberry")), sort_keys=True
+        ) == json.dumps(
+            asdict(engine.extract(html, "elderberry")), sort_keys=True
+        )
+
 
 class TestErrors:
     def test_not_json(self):

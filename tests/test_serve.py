@@ -1,0 +1,346 @@
+"""Compiled serving path tests (automaton, page index, parity)."""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.mse import build_wrapper
+from repro.core.verify import _section_dinr_key, check_wrapper
+from repro.htmlmod.parser import parse_html
+from repro.perf.kernels import DINR_MEMO, clear_kernel_caches
+from repro.perf.serve import (
+    PageIndex,
+    TagPathAutomaton,
+    build_page_index,
+    compile_wrapper,
+    extract_many,
+)
+from repro.render.layout import render_page
+from repro.core.wrapper import POSITION_SLACK
+from repro.tagpath.paths import MergedTagPath
+from tests.helpers import make_records, render, sample_pages, simple_result_page
+
+
+@pytest.fixture(scope="module")
+def engine():
+    pages = sample_pages(
+        ("apple", "banana", "cherry"), [("Web", 4), ("News", 3)]
+    )
+    return build_wrapper(pages)
+
+
+@pytest.fixture(scope="module")
+def compiled(engine):
+    return compile_wrapper(engine)
+
+
+def unseen_pages():
+    pages = [
+        (
+            simple_result_page(
+                query,
+                [
+                    ("Web", make_records("Web", count, query)),
+                    ("News", make_records("News", 3, query)),
+                ],
+            ),
+            query,
+        )
+        for query, count in (("durian", 6), ("elderberry", 2), ("fig", 5))
+    ]
+    # A page with one section legitimately absent, and a drifted layout.
+    pages.append(
+        (
+            simple_result_page(
+                "grape", [("Web", make_records("Web", 4, "grape"))]
+            ),
+            "grape",
+        )
+    )
+    pages.append(
+        (
+            "<html><body><table><tr><td>totally different "
+            "layout</td></tr></table></body></html>",
+            "kiwi",
+        )
+    )
+    return pages
+
+
+def extraction_doc(extraction):
+    return json.dumps(asdict(extraction), sort_keys=True)
+
+
+# -- the merged tagpath automaton -------------------------------------------
+
+
+class TestAutomaton:
+    def test_matches_find_with_slack(self, engine):
+        """One automaton run == per-pref find_with_slack, element-wise."""
+        automaton = TagPathAutomaton()
+        prefs = [w.pref for w in engine.wrappers]
+        entries = [automaton.add(pref, POSITION_SLACK) for pref in prefs]
+        for markup, _query in unseen_pages():
+            root = parse_html(markup).root
+            located = automaton.run(root)
+            for pref, entry in zip(prefs, entries):
+                exact, slacked = pref.find_with_slack(root, POSITION_SLACK)
+                got_exact, got_slacked = located[entry]
+                assert got_exact == exact
+                assert got_slacked == slacked
+
+    def test_matches_plain_find(self, engine):
+        automaton = TagPathAutomaton()
+        prefs = [w.pref for w in engine.wrappers]
+        entries = [automaton.add(pref, 0) for pref in prefs]
+        for markup, _query in unseen_pages():
+            root = parse_html(markup).root
+            located = automaton.run(root)
+            for pref, entry in zip(prefs, entries):
+                assert located[entry][0] == pref.find(root, 0)
+
+    def test_unmatched_root_yields_empty(self):
+        automaton = TagPathAutomaton()
+        entry = automaton.add(
+            MergedTagPath(("xyzzy",), (None,), ({0},)), 0
+        )
+        root = parse_html("<html><body><p>x</p></body></html>").root
+        assert automaton.run(root)[entry] == ([], [])
+
+    def test_len_counts_entries(self, engine):
+        automaton = TagPathAutomaton()
+        for wrapper in engine.wrappers:
+            automaton.add(wrapper.pref, 1)
+        assert len(automaton) == len(engine.wrappers)
+
+
+# -- the shared page index --------------------------------------------------
+
+
+class TestPageIndex:
+    def page(self):
+        markup, _ = unseen_pages()[0]
+        return render(markup)
+
+    def test_span_of_matches_line_range(self):
+        from repro.htmlmod.dom import Element
+
+        page = self.page()
+        index = PageIndex(page)
+        for node in page.document.root.iter():
+            if isinstance(node, Element):
+                assert index.span_of(node) == page.line_range_of_element(node)
+
+    def test_span_of_cached(self):
+        page = self.page()
+        index = PageIndex(page)
+        element = page.document.root
+        assert index.span_of(element) is index.span_of(element)
+
+    def test_first_occurrence_matches_linear_scan(self):
+        page = self.page()
+        index = PageIndex(page)
+        keys = [line.cleaned or line.text.lower() for line in page.lines]
+        distinct = sorted(set(keys))
+        probes = [
+            tuple(distinct[:3]),
+            tuple(distinct[-2:]),
+            ("not-on-the-page",),
+            tuple(distinct[::4]),
+        ]
+        spans = [(0, len(page.lines) - 1), (2, 5), (5, 2), (3, 3)]
+        for texts in probes:
+            ids = tuple(index.key_ids[keys.index(t)] if t in keys else -1
+                        for t in texts)
+            for lo, hi in spans:
+                reference = next(
+                    (
+                        number
+                        for number in range(lo, hi + 1)
+                        if keys[number] in texts
+                    ),
+                    None,
+                )
+                assert index.first_occurrence(ids, lo, hi) == reference
+
+    def test_attr_mask_matches_interner(self):
+        from repro.perf.fingerprints import ATTR_INTERNER
+
+        page = self.page()
+        index = PageIndex(page)
+        for line in page.lines:
+            assert index.attr_mask(line.number) == ATTR_INTERNER.mask(
+                line.attrs
+            )
+
+
+# -- compiled == interpreted parity -----------------------------------------
+
+
+class TestCompiledParity:
+    def test_extract_identical_on_unseen_pages(self, engine, compiled):
+        for markup, query in unseen_pages():
+            reference = engine.extract(markup, query)
+            fast = compiled.extract(markup, query)
+            assert extraction_doc(fast) == extraction_doc(reference)
+
+    def test_serve_health_identical_to_check_wrapper(self, engine, compiled):
+        for markup, query in unseen_pages():
+            reference = check_wrapper(engine, markup, query)
+            served = compiled.serve(markup, query)
+            assert json.dumps(
+                served.health.to_obj(), sort_keys=True
+            ) == json.dumps(reference.to_obj(), sort_keys=True)
+
+    def test_parity_on_evolved_pages(self, engine, compiled):
+        """Parity holds as the engine's markup drifts (S4).
+
+        Each mutation models one template evolution: extra chrome before
+        the sections, a wrapper div pushing every path one level deeper,
+        reordered sections, and records stripped down mid-page.
+        """
+        base, query = unseen_pages()[0]
+        mutations = [
+            base.replace(
+                "<body>", "<body><div id='banner'><span>Ad</span></div>", 1
+            ),
+            base.replace("<body>", "<body><div class='wrap'>", 1).replace(
+                "</body>", "</div></body>", 1
+            ),
+            base.replace("<h2>Web</h2>", "<h2>Shopping</h2>", 1),
+            base.replace("<ul>", "<ul><li>sponsored filler</li>", 1),
+            base.replace("<br>", " - ", 20),
+        ]
+        for markup in mutations:
+            reference = engine.extract(markup, query)
+            fast = compiled.extract(markup, query)
+            assert extraction_doc(fast) == extraction_doc(reference)
+            reference_health = check_wrapper(engine, markup, query)
+            served = compiled.serve(markup, query)
+            assert json.dumps(
+                served.health.to_obj(), sort_keys=True
+            ) == json.dumps(reference_health.to_obj(), sort_keys=True)
+
+    def test_serve_index_reuses_one_render(self, engine, compiled):
+        markup, query = unseen_pages()[0]
+        index = build_page_index(markup, query)
+        served = compiled.serve_index(index)
+        assert extraction_doc(served.extraction) == extraction_doc(
+            engine.extract(markup, query)
+        )
+
+
+# -- batch serving -----------------------------------------------------------
+
+
+class TestExtractMany:
+    def test_jobs_match_serial(self, engine, compiled):
+        pages = unseen_pages()
+        serial = extract_many(pages, [compiled], jobs=1)
+        fanned = extract_many(pages, [engine], jobs=2)
+        assert [
+            [extraction_doc(e) for e in per_page] for per_page in serial
+        ] == [[extraction_doc(e) for e in per_page] for per_page in fanned]
+
+    def test_wrapper_of_restricts_pages(self, engine, compiled):
+        pages = unseen_pages()[:2]
+        results = extract_many(pages, [compiled, compiled], wrapper_of=[1, 0])
+        assert all(len(per_page) == 1 for per_page in results)
+
+    def test_wrapper_of_length_mismatch(self, compiled):
+        with pytest.raises(ValueError):
+            extract_many(unseen_pages()[:2], [compiled], wrapper_of=[0])
+
+
+# -- interner generation guards ---------------------------------------------
+
+
+class TestGenerationGuards:
+    def test_stale_index_rejected(self, compiled):
+        markup, query = unseen_pages()[0]
+        index = build_page_index(markup, query)
+        clear_kernel_caches()
+        with pytest.raises(ValueError, match="stale PageIndex"):
+            compiled.extract_index(index)
+
+    def test_compiled_wrapper_self_heals_after_clear(self, engine, compiled):
+        markup, query = unseen_pages()[0]
+        before = extraction_doc(compiled.extract(markup, query))
+        clear_kernel_caches()
+        after = extraction_doc(compiled.extract(markup, query))
+        assert before == after
+        assert extraction_doc(engine.extract(markup, query)) == after
+
+
+# -- the section-homogeneity memo key ---------------------------------------
+
+
+class TestSectionDinrKey:
+    def served_instances(self, engine, compiled):
+        markup, query = unseen_pages()[0]
+        index = build_page_index(markup, query)
+        apps = compiled.apply_to_index(index)
+        return [i for i in apps.wrapper_instances if i is not None]
+
+    def test_key_is_page_independent(self, engine, compiled):
+        """The same section line-up on two renders keys identically.
+
+        The key must not capture object identities: serving re-renders
+        every page, so a key that varied across renders would never hit.
+        """
+        markup, query = unseen_pages()[0]
+        keys = []
+        for _ in range(2):
+            index = build_page_index(markup, query)
+            apps = compiled.apply_to_index(index)
+            keys.append(
+                tuple(
+                    _section_dinr_key(engine.config, instance)
+                    for instance in apps.wrapper_instances
+                    if instance is not None and len(instance.records) >= 2
+                )
+            )
+        assert keys[0] == keys[1]
+        assert keys[0]  # the fixture pages do have multi-record sections
+
+    def test_distinct_sections_key_differently(self, engine, compiled):
+        instances = self.served_instances(engine, compiled)
+        keys = [
+            _section_dinr_key(engine.config, instance)
+            for instance in instances
+        ]
+        assert len(set(keys)) == len(keys)
+
+    def test_memo_hit_returns_exact_dinr(self, engine):
+        """A DINR_MEMO hit equals the freshly computed homogeneity."""
+        compiled = compile_wrapper(engine)
+        markup, query = unseen_pages()[0]
+        clear_kernel_caches()
+        cold = compiled.serve(markup, query).health
+        hits_before = DINR_MEMO.hits
+        warm = compiled.serve(markup, query).health
+        assert DINR_MEMO.hits > hits_before
+        assert json.dumps(warm.to_obj(), sort_keys=True) == json.dumps(
+            cold.to_obj(), sort_keys=True
+        )
+
+
+# -- monitor integration ------------------------------------------------------
+
+
+class TestMonitorServing:
+    def test_serve_page_matches_interpreted_pair(self, engine):
+        from repro.monitor import WrapperMonitor
+
+        monitor = WrapperMonitor(engine)
+        markup, query = unseen_pages()[0]
+        served = monitor.serve_page(markup, query)
+        assert extraction_doc(served.extraction) == extraction_doc(
+            engine.extract(markup, query)
+        )
+        assert json.dumps(
+            served.health.to_obj(), sort_keys=True
+        ) == json.dumps(
+            check_wrapper(engine, markup, query).to_obj(), sort_keys=True
+        )

@@ -163,3 +163,82 @@ class TestEngineWrapper:
         )
         kept = _dedup_instances([("a", first), ("b", second)])
         assert len(kept) == 2
+
+
+class TestDedupTieBreaks:
+    """The overlap-resolution order is part of the extraction contract.
+
+    ``_dedup_instances`` resolves overlapping claims by score, then
+    record count, then span length, then earlier start — these tests pin
+    each tie-break level so a reordering (e.g. in the sweep-line
+    rewrite) cannot silently change which section wins.
+    """
+
+    def page(self):
+        return render(
+            "<html><body>"
+            + "".join(f"<p>line {i}</p>" for i in range(8))
+            + "</body></html>"
+        )
+
+    def instance(self, page, start, end, n_records, score=0.0):
+        from repro.core.model import SectionInstance
+        from repro.features.blocks import Block
+
+        width = (end - start + 1) // n_records
+        records = [
+            Block(
+                page,
+                start + i * width,
+                start + (i + 1) * width - 1 if i < n_records - 1 else end,
+            )
+            for i in range(n_records)
+        ]
+        return SectionInstance(
+            page=page,
+            block=Block(page, start, end),
+            records=records,
+            score=score,
+        )
+
+    def kept_ids(self, instances):
+        from repro.core.wrapper import _dedup_instances
+
+        return [schema_id for schema_id, _ in _dedup_instances(instances)]
+
+    def test_score_beats_record_count(self):
+        page = self.page()
+        scored = self.instance(page, 0, 3, 1, score=2.0)
+        finer = self.instance(page, 0, 3, 4, score=0.0)
+        assert self.kept_ids([("finer", finer), ("scored", scored)]) == [
+            "scored"
+        ]
+
+    def test_record_count_beats_span_length(self):
+        page = self.page()
+        fine = self.instance(page, 0, 3, 4, score=1.0)
+        coarse = self.instance(page, 0, 5, 2, score=1.0)
+        assert self.kept_ids([("coarse", coarse), ("fine", fine)]) == ["fine"]
+
+    def test_span_length_beats_start(self):
+        page = self.page()
+        wide = self.instance(page, 1, 5, 2, score=1.0)
+        narrow = self.instance(page, 0, 3, 2, score=1.0)
+        assert self.kept_ids([("narrow", narrow), ("wide", wide)]) == ["wide"]
+
+    def test_earlier_start_is_final_tie_break(self):
+        page = self.page()
+        late = self.instance(page, 3, 5, 3, score=1.0)
+        early = self.instance(page, 1, 3, 3, score=1.0)
+        assert self.kept_ids([("late", late), ("early", early)]) == ["early"]
+
+    def test_loser_of_overlap_does_not_block_disjoint_instance(self):
+        """A dropped overlapper must not shadow later disjoint claims."""
+        page = self.page()
+        winner = self.instance(page, 0, 5, 3, score=2.0)
+        loser = self.instance(page, 4, 7, 2, score=1.0)
+        tail = self.instance(page, 6, 7, 2, score=0.5)
+        kept = self.kept_ids(
+            [("tail", tail), ("loser", loser), ("winner", winner)]
+        )
+        assert kept == ["winner", "tail"]
