@@ -15,25 +15,35 @@ from repro.analysis.baseline import (
 )
 from repro.analysis.engine import (
     ModuleContext,
+    ProjectContext,
+    ProjectRule,
     Rule,
     analyze_file,
     analyze_paths,
     discover_files,
+    display_path,
+    display_root,
     module_name_of,
 )
 from repro.analysis.findings import Finding, finding_at
-from repro.analysis.rules import default_rules
+from repro.analysis.rules import all_rules, default_rules, flow_rules
 
 __all__ = [
     "Finding",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
+    "all_rules",
     "analyze_file",
     "analyze_paths",
     "apply_baseline",
     "default_rules",
     "discover_files",
+    "display_path",
+    "display_root",
     "finding_at",
+    "flow_rules",
     "load_baseline",
     "module_name_of",
     "save_baseline",

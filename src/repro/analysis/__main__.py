@@ -1,25 +1,33 @@
 """``python -m repro.analysis``: the invariant linter CLI.
 
 Exit codes: 0 — no unsuppressed findings; 1 — findings remain;
-2 — usage error (bad path, bad baseline file).
+2 — usage error (bad path, bad baseline file, git failure).
+
+``--changed-only`` makes the gate diff-aware: analysis still runs over
+the whole tree (the flow rules need every module to build the call
+graph), but only findings located in files that differ from
+``--diff-base`` (default ``HEAD``) count toward the exit code.  A PR
+therefore fails only on findings it could have introduced, while the
+full-tree run on main keeps the global invariant at zero.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.analysis.baseline import (
     apply_baseline,
     load_baseline,
     save_baseline,
 )
-from repro.analysis.engine import analyze_paths
+from repro.analysis.engine import analyze_paths, display_root
 from repro.analysis.findings import Finding
-from repro.analysis.rules import default_rules
+from repro.analysis.rules import all_rules
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -28,7 +36,9 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "AST invariant linter for the MSE pipeline: determinism, "
             "kernel purity, observer/config threading, API hygiene, "
-            "typing completeness."
+            "typing completeness, and whole-program flow rules "
+            "(fork safety, pickle safety, hot-path complexity, codec "
+            "drift)."
         ),
     )
     parser.add_argument(
@@ -58,7 +68,48 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="IDS",
         help="comma-separated rule ids to run (default: all)",
     )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "only count findings in files changed relative to "
+            "--diff-base (analysis still covers the whole tree)"
+        ),
+    )
+    parser.add_argument(
+        "--diff-base",
+        metavar="REF",
+        default="HEAD",
+        help="git ref --changed-only diffs against (default: HEAD)",
+    )
     return parser
+
+
+def _changed_files(base: str) -> Set[str]:
+    """Repo-relative posix paths changed vs ``base``, plus untracked.
+
+    Matches the engine's finding paths: both are relative to the
+    repository root, so filtering is a plain set lookup.
+    """
+    root = display_root()
+    changed: Set[str] = set()
+    for args in (
+        ["git", "diff", "--name-only", base, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            args,
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        changed.update(
+            line.strip()
+            for line in proc.stdout.splitlines()
+            if line.strip()
+        )
+    return changed
 
 
 def _render_text(findings: Sequence[Finding], suppressed: int) -> str:
@@ -86,10 +137,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     opts = parser.parse_args(argv)
 
-    rules = default_rules()
+    rules: List[object] = list(all_rules())
     if opts.rules:
         wanted = {part.strip() for part in opts.rules.split(",") if part.strip()}
-        known = {rule.rule_id for rule in rules}
+        known = {getattr(rule, "rule_id", "") for rule in rules}
         unknown = wanted - known
         if unknown:
             print(
@@ -97,13 +148,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        rules = [rule for rule in rules if rule.rule_id in wanted]
+        rules = [
+            rule for rule in rules if getattr(rule, "rule_id", "") in wanted
+        ]
 
     try:
         findings = analyze_paths(opts.paths, rules)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if opts.changed_only:
+        try:
+            changed = _changed_files(opts.diff_base)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(f"error: cannot list changed files: {exc}", file=sys.stderr)
+            return 2
+        findings = [f for f in findings if f.path in changed]
 
     if opts.write_baseline:
         save_baseline(Path(opts.write_baseline), findings)

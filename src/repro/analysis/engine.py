@@ -90,6 +90,37 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectContext:
+    """Everything a project rule may inspect about one analysis run.
+
+    Holds every parsed module of the run (sorted by display path — the
+    engine's discovery order) plus a scratch ``cache`` dict the flow
+    rules use to share one symbol table / call graph per run instead of
+    rebuilding them per rule.
+    """
+
+    def __init__(self, modules: Sequence[ModuleContext]) -> None:
+        self.modules = list(modules)
+        self.cache: Dict[str, object] = {}
+
+
+class ProjectRule:
+    """Base class of one whole-program check.
+
+    Unlike :class:`Rule`, a project rule sees every parsed file of the
+    run at once (symbol tables, call graphs and codec/dataclass pairs
+    are cross-module facts).  Findings still land on one file and line,
+    and inline ``# lint: allow`` pragmas suppress them the same way.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    invariant: str = ""
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 def module_name_of(path: Path) -> Optional[str]:
     """Dotted module name for files under a ``repro`` package directory.
 
@@ -137,6 +168,41 @@ def discover_files(paths: Sequence[str]) -> List[Path]:
     return out
 
 
+#: marker files that identify the repository root for path display
+_ROOT_MARKERS = ("pyproject.toml", ".git")
+
+
+def display_root(start: Optional[Path] = None) -> Path:
+    """The directory findings paths are made relative to.
+
+    Walks up from ``start`` (default: the working directory) to the
+    nearest repository marker; falls back to ``start`` itself.  Keeping
+    reported paths repo-relative makes baselines machine-portable: the
+    same finding produces the same baseline entry regardless of where
+    the repository is checked out or whether the linter was invoked
+    with an absolute or a relative root.
+    """
+    origin = (start or Path.cwd()).resolve()
+    for candidate in [origin, *origin.parents]:
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    return origin
+
+
+def display_path(path: Path, root: Optional[Path] = None) -> str:
+    """Repo-relative posix form of a path when under the root.
+
+    Paths outside the root (temporary fixture trees in tests, say) keep
+    their as-given form.
+    """
+    base = display_root() if root is None else root
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
 def _suppressed_lines(source: str) -> Dict[int, Set[str]]:
     """``line number -> rule ids`` allowed by inline pragmas."""
     allowed: Dict[int, Set[str]] = {}
@@ -154,46 +220,108 @@ def _suppressed_lines(source: str) -> Dict[int, Set[str]]:
     return allowed
 
 
-def analyze_file(path: Path, rules: Sequence[Rule]) -> List[Finding]:
-    """All findings of the given rules for one file."""
-    display = path.as_posix()
+class ParsedFile:
+    """One discovered file: parsed context (or parse error) + pragmas."""
+
+    def __init__(
+        self,
+        display: str,
+        ctx: Optional[ModuleContext],
+        allowed: Dict[int, Set[str]],
+        parse_error: Optional[Finding],
+    ) -> None:
+        self.display = display
+        self.ctx = ctx
+        self.allowed = allowed
+        self.parse_error = parse_error
+
+
+def parse_file(path: Path, root: Optional[Path] = None) -> ParsedFile:
+    """Parse one file once: context, pragma lines, or a parse finding."""
+    display = display_path(path, root)
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=display)
     except SyntaxError as exc:
-        return [
+        return ParsedFile(
+            display,
+            None,
+            {},
             Finding(
                 path=display,
                 line=exc.lineno or 0,
                 col=exc.offset or 0,
                 rule=PARSE_RULE,
                 message=f"file does not parse: {exc.msg}",
-            )
-        ]
+            ),
+        )
     ctx = ModuleContext(
         path=display, module=module_name_of(path), source=source, tree=tree
     )
-    allowed = _suppressed_lines(source)
+    return ParsedFile(display, ctx, _suppressed_lines(source), None)
+
+
+def _run_file_rules(
+    parsed: ParsedFile, rules: Sequence[Rule]
+) -> List[Finding]:
+    if parsed.parse_error is not None:
+        return [parsed.parse_error]
+    ctx = parsed.ctx
+    assert ctx is not None
     out: List[Finding] = []
     for rule in rules:
         if not rule.applies_to(ctx):
             continue
         for finding in rule.check(ctx):
-            if finding.rule in allowed.get(finding.line, ()):
+            if finding.rule in parsed.allowed.get(finding.line, ()):
                 continue
             out.append(finding)
     return out
 
 
-def analyze_paths(
-    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None
-) -> List[Finding]:
-    """Run the rules over every Python file under ``paths``, sorted."""
-    if rules is None:
-        from repro.analysis.rules import default_rules
+def analyze_file(path: Path, rules: Sequence[Rule]) -> List[Finding]:
+    """All findings of the given per-file rules for one file."""
+    return _run_file_rules(parse_file(path), rules)
 
-        rules = default_rules()
+
+AnyRule = object  # Rule | ProjectRule; kept loose for 3.9 compatibility
+
+
+def analyze_paths(
+    paths: Sequence[str], rules: Optional[Sequence[object]] = None
+) -> List[Finding]:
+    """Run the rules over every Python file under ``paths``, sorted.
+
+    ``rules`` may mix per-file :class:`Rule` and whole-program
+    :class:`ProjectRule` instances; by default every registered rule of
+    both kinds runs.  Files are parsed exactly once, shared between the
+    per-file pass and the project pass.
+    """
+    if rules is None:
+        from repro.analysis.rules import all_rules
+
+        rules = all_rules()
+    file_rules = [rule for rule in rules if isinstance(rule, Rule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+
+    root = display_root()
+    parsed_files = [parse_file(path, root) for path in discover_files(paths)]
+
     findings: Set[Finding] = set()
-    for path in discover_files(paths):
-        findings.update(analyze_file(path, rules))
+    for parsed in parsed_files:
+        findings.update(_run_file_rules(parsed, file_rules))
+
+    if project_rules:
+        contexts = [p.ctx for p in parsed_files if p.ctx is not None]
+        allowed_of = {
+            p.display: p.allowed for p in parsed_files if p.ctx is not None
+        }
+        project = ProjectContext(contexts)
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                if finding.rule in allowed_of.get(finding.path, {}).get(
+                    finding.line, ()
+                ):
+                    continue
+                findings.add(finding)
     return sorted(findings, key=Finding.sort_key)

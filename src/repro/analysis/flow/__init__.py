@@ -1,0 +1,56 @@
+"""Whole-program flow analysis over the project's Python sources.
+
+A layer on top of the per-file rule engine of :mod:`repro.analysis`:
+:mod:`~repro.analysis.flow.model` builds a project-wide symbol table
+from the already-parsed module ASTs, :mod:`~repro.analysis.flow
+.callgraph` resolves names into a call graph with reachability and a
+per-function purity lattice, and :mod:`~repro.analysis.flow.rules`
+implements the interprocedural rules (MP01 fork safety, MP02 payload
+pickle safety, PERF01 hot-path complexity, SER01 codec drift) that no
+per-file rule can express.
+
+Everything here is deterministic: modules are processed in sorted path
+order, every derived set is sorted before it is iterated for output,
+and two runs over the same sources — in any argument order — produce
+byte-identical findings (property-tested in ``tests/test_flow.py``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    MUTATES,
+    PURE,
+    READS,
+    build_call_graph,
+)
+from repro.analysis.flow.model import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+    build_project_model,
+)
+from repro.analysis.flow.rules import (
+    CodecDriftRule,
+    ForkSafetyRule,
+    HotPathComplexityRule,
+    PickleSafetyRule,
+    flow_rules,
+)
+
+__all__ = [
+    "CallGraph",
+    "CodecDriftRule",
+    "ForkSafetyRule",
+    "FunctionInfo",
+    "HotPathComplexityRule",
+    "MUTATES",
+    "ModuleInfo",
+    "PURE",
+    "PickleSafetyRule",
+    "ProjectModel",
+    "READS",
+    "build_call_graph",
+    "build_project_model",
+    "flow_rules",
+]

@@ -1,0 +1,393 @@
+"""Name resolution, the call graph, reachability and the purity lattice.
+
+Resolution maps the raw dotted chains of :mod:`~repro.analysis.flow
+.model` to project symbols through each module's import table: a chain
+``RECORD_MEMO.store`` inside ``repro.features.record_distance`` resolves
+through ``from repro.perf.kernels import RECORD_MEMO`` to the global
+``repro.perf.kernels.RECORD_MEMO`` and — because that global is built by
+the project class ``PairMemo`` — onward to the method
+``repro.perf.kernels.PairMemo.store``.
+
+The call graph is deliberately an *over*-approximation on dispatch and
+an *under*-approximation on unknowns:
+
+- resolved calls add edges; so do plain references to project functions
+  (callbacks) and classes;
+- referencing a class closes over **all** its methods (the pipeline
+  dispatches stages through registry dicts — ``PAGE_STAGES[name]()`` —
+  so dynamic dispatch must reach the concrete ``run_page`` bodies);
+- reading a module global closes over the functions/classes referenced
+  in its initializer (the registry-dict values);
+- calls on unannotated locals resolve to nothing (no guessing).
+
+On top of the graph: breadth-first reachability with parent pointers
+(findings print the worker -> … -> sink chain) and a three-point purity
+lattice ``PURE < READS < MUTATES`` computed as a fixpoint.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.flow.model import (
+    ClassInfo,
+    FunctionInfo,
+    GlobalInfo,
+    MUTATING_CONTAINER_METHODS,
+    ModuleInfo,
+    MutationSite,
+    ProjectModel,
+    _chain_of,
+)
+
+#: purity lattice values, ordered
+PURE = "pure"
+READS = "reads-globals"
+MUTATES = "mutates-globals"
+
+_LATTICE_ORDER = {PURE: 0, READS: 1, MUTATES: 2}
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """One resolved symbol: ``kind`` in {function, class, global}."""
+
+    kind: str
+    qualname: str
+    #: attribute path left over after the symbol (method on a global)
+    rest: Tuple[str, ...] = ()
+
+
+@dataclass
+class GlobalMutation:
+    """One resolved mutation of a module global."""
+
+    global_qualname: str
+    function: FunctionInfo
+    site: MutationSite
+    #: how the mutation happens: the method name, ``store`` or ``rebind``
+    how: str
+
+
+@dataclass
+class CallGraph:
+    """The resolved whole-program graph and its derived facts."""
+
+    project: ProjectModel
+    #: function qualname -> sorted callee/reference qualnames
+    edges: Dict[str, List[str]] = field(default_factory=dict)
+    #: function qualname -> resolved global mutations in its body
+    mutations: Dict[str, List[GlobalMutation]] = field(default_factory=dict)
+    #: function qualname -> module globals it reads
+    global_reads: Dict[str, List[str]] = field(default_factory=dict)
+    #: worker-executed callables: qualname -> dispatch description
+    worker_entries: Dict[str, str] = field(default_factory=dict)
+    #: function qualname -> purity lattice value
+    purity: Dict[str, str] = field(default_factory=dict)
+
+    def reachable_from(
+        self, entries: Iterable[str]
+    ) -> Tuple[List[str], Dict[str, str]]:
+        """Breadth-first closure with parent pointers, deterministic."""
+        parents: Dict[str, str] = {}
+        seen: List[str] = []
+        queue: deque[str] = deque()
+        for entry in sorted(set(entries)):
+            if entry in self.project.functions and entry not in parents:
+                parents[entry] = ""
+                seen.append(entry)
+                queue.append(entry)
+        while queue:
+            current = queue.popleft()
+            for callee in self.edges.get(current, []):
+                if callee in parents:
+                    continue
+                parents[callee] = current
+                seen.append(callee)
+                queue.append(callee)
+        return seen, parents
+
+    def chain_to(self, qualname: str, parents: Dict[str, str]) -> List[str]:
+        """The entry -> … -> qualname path recorded by reachability."""
+        chain = [qualname]
+        while parents.get(chain[-1]):
+            chain.append(parents[chain[-1]])
+        return list(reversed(chain))
+
+
+def resolve_chain(
+    project: ProjectModel,
+    module: ModuleInfo,
+    function: Optional[FunctionInfo],
+    chain: str,
+) -> Optional[Resolved]:
+    """Resolve a raw dotted chain against function/module/import scope."""
+    parts = chain.split(".")
+    head = parts[0]
+
+    if function is not None:
+        if head == "self" and function.class_qualname is not None:
+            if len(parts) >= 2:
+                method = _lookup_method(
+                    project, project.classes.get(function.class_qualname), parts[1]
+                )
+                if method is not None:
+                    return Resolved("function", method.qualname, tuple(parts[2:]))
+            return None
+        if function.is_local(head):
+            return None
+
+    if head in module.imports:
+        full = ".".join([module.imports[head]] + parts[1:])
+    elif (
+        head in module.functions
+        or head in module.classes
+        or head in module.globals
+    ):
+        full = f"{module.name}.{chain}"
+    else:
+        return None
+    return _classify(project, full)
+
+
+def _classify(project: ProjectModel, full: str) -> Optional[Resolved]:
+    """Split a fully-qualified chain into (module, symbol, rest)."""
+    parts = full.split(".")
+    for cut in range(len(parts) - 1, 0, -1):
+        module_name = ".".join(parts[:cut])
+        module = project.modules.get(module_name)
+        if module is None:
+            continue
+        rest = parts[cut:]
+        symbol = rest[0]
+        tail = tuple(rest[1:])
+        if symbol in module.functions:
+            return Resolved("function", f"{module_name}.{symbol}", tail)
+        if symbol in module.classes:
+            class_info = module.classes[symbol]
+            if tail:
+                method = _lookup_method(project, class_info, tail[0])
+                if method is not None:
+                    return Resolved("function", method.qualname, tail[1:])
+            return Resolved("class", class_info.qualname, tail)
+        if symbol in module.globals:
+            return Resolved("global", f"{module_name}.{symbol}", tail)
+        return None
+    return None
+
+
+def _lookup_method(
+    project: ProjectModel, class_info: Optional[ClassInfo], name: str
+) -> Optional[FunctionInfo]:
+    """Method lookup through project base classes (depth-first)."""
+    seen: Set[str] = set()
+    stack = [] if class_info is None else [class_info]
+    while stack:
+        current = stack.pop(0)
+        if current.qualname in seen:
+            continue
+        seen.add(current.qualname)
+        if name in current.methods:
+            return current.methods[name]
+        module = project.modules.get(current.module)
+        if module is None:
+            continue
+        for base_chain in current.bases:
+            base = resolve_chain(project, module, None, base_chain)
+            if base is not None and base.kind == "class":
+                base_info = project.classes.get(base.qualname)
+                if base_info is not None:
+                    stack.append(base_info)
+    return None
+
+
+def _global_class(project: ProjectModel, info: GlobalInfo) -> Optional[ClassInfo]:
+    """The project class a global was constructed from, if resolvable."""
+    if info.constructor is None:
+        return None
+    module = project.modules.get(info.module)
+    if module is None:
+        return None
+    resolved = resolve_chain(project, module, None, info.constructor)
+    if resolved is not None and resolved.kind == "class":
+        return project.classes.get(resolved.qualname)
+    return None
+
+
+def _method_is_impure(
+    project: ProjectModel, class_info: ClassInfo, method_name: str
+) -> bool:
+    """Whether a method (transitively, through self-calls) writes self."""
+    start = _lookup_method(project, class_info, method_name)
+    if start is None:
+        # Unknown method on a known class: assume a builtin-container
+        # style mutation only if the name says so.
+        return method_name in MUTATING_CONTAINER_METHODS
+    seen: Set[str] = set()
+    stack: List[FunctionInfo] = [start]
+    while stack:
+        method = stack.pop()
+        if method.qualname in seen:
+            continue
+        seen.add(method.qualname)
+        for site in method.mutations:
+            receiver_head = site.receiver.split(".")[0]
+            if receiver_head != "self":
+                continue
+            if site.kind in ("store", "rebind"):
+                return True
+            if site.kind == "method":
+                if "." in site.receiver:
+                    # self.attr.method(): container mutation heuristics.
+                    if site.method in MUTATING_CONTAINER_METHODS:
+                        return True
+                else:
+                    # self.method(): recurse into the sibling method.
+                    target = _lookup_method(project, class_info, site.method)
+                    if target is not None:
+                        stack.append(target)
+                    elif site.method in MUTATING_CONTAINER_METHODS:
+                        return True
+    return False
+
+
+def _class_methods(project: ProjectModel, qualname: str) -> List[str]:
+    class_info = project.classes.get(qualname)
+    if class_info is None:
+        return []
+    return [method.qualname for method in class_info.methods.values()]
+
+
+def build_call_graph(project: ProjectModel) -> CallGraph:
+    """Resolve every function's facts into the whole-program graph."""
+    graph = CallGraph(project=project)
+
+    for qualname in project.functions:
+        function = project.functions[qualname]
+        module = project.modules[function.module]
+        edges: Set[str] = set()
+        reads: Set[str] = set()
+        resolved_mutations: List[GlobalMutation] = []
+
+        def add_callable_edges(resolved: Resolved) -> None:
+            if resolved.kind == "function":
+                edges.add(resolved.qualname)
+            elif resolved.kind == "class":
+                # Constructing or referencing a class may dispatch to any
+                # of its methods downstream (registry dicts, virtual
+                # calls); close over all of them.
+                edges.update(_class_methods(project, resolved.qualname))
+
+        # Calls.
+        for chain, _call in function.calls:
+            resolved = resolve_chain(project, module, function, chain)
+            if resolved is None:
+                continue
+            if resolved.kind == "global":
+                reads.add(resolved.qualname)
+                global_info = project.globals[resolved.qualname]
+                owner = _global_class(project, global_info)
+                if resolved.rest and owner is not None:
+                    method = _lookup_method(project, owner, resolved.rest[0])
+                    if method is not None:
+                        edges.add(method.qualname)
+            else:
+                add_callable_edges(resolved)
+
+        # References (callbacks, registry reads, global loads).
+        for chain in sorted(function.chain_loads):
+            resolved = resolve_chain(project, module, function, chain)
+            if resolved is None:
+                continue
+            if resolved.kind == "global":
+                reads.add(resolved.qualname)
+                global_info = project.globals[resolved.qualname]
+                for ref_chain in global_info.references:
+                    ref = resolve_chain(
+                        project, project.modules[global_info.module], None, ref_chain
+                    )
+                    if ref is not None and ref.kind in ("function", "class"):
+                        add_callable_edges(ref)
+            else:
+                add_callable_edges(resolved)
+
+        # Mutations.
+        for site in function.mutations:
+            receiver_head = site.receiver.split(".")[0]
+            if receiver_head == "self" or function.is_local(receiver_head):
+                continue
+            if site.kind == "rebind":
+                target = resolve_chain(project, module, None, site.receiver)
+                if target is not None and target.kind == "global":
+                    resolved_mutations.append(
+                        GlobalMutation(target.qualname, function, site, "rebind")
+                    )
+                continue
+            resolved = resolve_chain(project, module, function, site.receiver)
+            if resolved is None or resolved.kind != "global":
+                continue
+            global_info = project.globals[resolved.qualname]
+            if not global_info.mutable:
+                continue
+            if site.kind == "store":
+                resolved_mutations.append(
+                    GlobalMutation(resolved.qualname, function, site, "store")
+                )
+            elif site.kind == "method":
+                owner = _global_class(project, global_info)
+                if owner is not None:
+                    impure = _method_is_impure(project, owner, site.method)
+                else:
+                    impure = site.method in MUTATING_CONTAINER_METHODS
+                if impure:
+                    resolved_mutations.append(
+                        GlobalMutation(
+                            resolved.qualname, function, site, site.method
+                        )
+                    )
+
+        graph.edges[qualname] = sorted(edges)
+        graph.global_reads[qualname] = sorted(reads)
+        graph.mutations[qualname] = resolved_mutations
+
+        # Worker entries shipped to pool processes.
+        for dispatch in function.pool_dispatches:
+            chain = _chain_of(dispatch.callable_expr)
+            if chain is None:
+                continue
+            resolved = resolve_chain(project, module, function, chain)
+            if resolved is not None and resolved.kind == "function":
+                graph.worker_entries.setdefault(
+                    resolved.qualname,
+                    f"{function.qualname} via {dispatch.via}",
+                )
+
+    _compute_purity(graph)
+    return graph
+
+
+def _compute_purity(graph: CallGraph) -> None:
+    """Fixpoint of the PURE < READS < MUTATES lattice over the graph."""
+    purity: Dict[str, str] = {}
+    for qualname in graph.project.functions:
+        if graph.mutations.get(qualname):
+            purity[qualname] = MUTATES
+        elif graph.global_reads.get(qualname):
+            purity[qualname] = READS
+        else:
+            purity[qualname] = PURE
+    changed = True
+    while changed:
+        changed = False
+        for qualname in graph.project.functions:
+            best = purity[qualname]
+            for callee in graph.edges.get(qualname, []):
+                callee_purity = purity.get(callee, PURE)
+                if _LATTICE_ORDER[callee_purity] > _LATTICE_ORDER[best]:
+                    best = callee_purity
+            if best != purity[qualname]:
+                purity[qualname] = best
+                changed = True
+    graph.purity = purity

@@ -1,0 +1,106 @@
+"""Central classification of process-local state.
+
+PR 3 marked every process-local memo site with an inline
+``# lint: allow`` pragma; as the memo family grew (``TREE_MEMO``,
+``RECORD_MEMO``, ``DINR_MEMO``, the interners, the serving worker
+wrapper list) the pragmas spread and nothing tied them together.  This
+registry replaces them with explicit, *reviewed* classification:
+
+- :data:`PROCESS_LOCAL_MEMOS` names every mutable module global that the
+  fork-safety rule (MP01) accepts on a pool-worker path.  An entry is a
+  claim: the global is a memo or interner whose values are pure
+  functions of their keys, so a fork that starts cold merely recomputes
+  — it can never disagree with the parent.  Anything mutable mutated on
+  a worker path and *not* listed here is a fork-safety finding.
+
+- :data:`IDENTITY_KEY_FUNCTIONS` names the functions allowed to derive
+  ``id()``-based memo keys (DET01's one sanctioned exception).  Keys
+  built from object identity are process-dependent by construction;
+  they are sound exactly when the table that holds them never crosses a
+  process boundary.  Registering the *function* here replaces the
+  per-line pragmas those sites used to carry and keeps the reasons in
+  one reviewed place.
+
+Every entry carries its justification string; the docs renderer and the
+flow rules surface it verbatim.  To classify a new module-level cache as
+process-local, add it to :data:`PROCESS_LOCAL_MEMOS` with a reason that
+argues value-purity (see DESIGN.md "Whole-program flow analysis").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: mutable module globals MP01 accepts on pool-worker paths: qualified
+#: name -> why a cold per-process copy is equivalent to the parent's
+PROCESS_LOCAL_MEMOS: Dict[str, str] = {
+    "repro.perf.kernels.TREE_MEMO": (
+        "bounded PairMemo of pure tree-distance values; a cold worker "
+        "recomputes identical floats (bit-identity property-tested)"
+    ),
+    "repro.perf.kernels.FOREST_MEMO": (
+        "bounded PairMemo of pure forest-distance values; cold-start "
+        "recomputation is bit-identical to the parent's entries"
+    ),
+    "repro.perf.kernels.RECORD_MEMO": (
+        "Drec memo keyed on (config, fingerprint, fingerprint); the "
+        "weighted sum is a pure function of the key"
+    ),
+    "repro.perf.kernels.DINR_MEMO": (
+        "section-homogeneity memo keyed on ordered record fingerprints; "
+        "Dinr is a pure function of the key"
+    ),
+    "repro.perf.fingerprints.ATTR_INTERNER": (
+        "intern table for text-attr bitmasks; interning is idempotent "
+        "and generation-guarded, each process builds its own universe"
+    ),
+    "repro.perf.fingerprints.TEXT_INTERNER": (
+        "intern table for marker texts; idempotent, generation-guarded, "
+        "never shipped across processes"
+    ),
+    "repro.perf.fingerprints.TUPLE_INTERNER": (
+        "intern table for signature tuples; idempotent fill, interned "
+        "objects are compared by value at every boundary"
+    ),
+    "repro.perf.serve._WORKER_WRAPPERS": (
+        "per-worker compiled wrappers installed by the pool initializer "
+        "before any task runs; each process serves from its own copy"
+    ),
+}
+
+#: functions allowed to build id()-derived memo keys: qualified name ->
+#: why identity keys are sound there (replaces the PR 3 line pragmas)
+IDENTITY_KEY_FUNCTIONS: Dict[str, str] = {
+    "repro.features.blocks.Block.__hash__": (
+        "blocks hash by (page identity, span); hashes are process-local "
+        "by definition and never serialized"
+    ),
+    "repro.features.record_distance.RecordDistanceCache.distance": (
+        "per-run cache keyed on (page identity, span); caches are "
+        "created per page set and never cross processes"
+    ),
+    "repro.features.record_distance.RecordDistanceCache.diversity": (
+        "per-run diversity memo keyed on (page identity, span); same "
+        "lifetime as the distance cache"
+    ),
+    "repro.perf.kernels.PairMemo.lookup": (
+        "canonicalizes the signature pair by object identity, valid "
+        "because signatures are interned and the memo is process-local"
+    ),
+    "repro.core.verify._section_dinr_key": (
+        "page-local leaf-line identity lookups build a key whose "
+        "encoded values are line offsets, not ids; never serialized"
+    ),
+    "repro.perf.serve._dom_span": (
+        "page-local DOM-node -> line lookup consumed by the page index "
+        "that builds it; ids never outlive the page"
+    ),
+    "repro.perf.serve.PageIndex.span_of": (
+        "page-local element -> line-span cache; the index and its keys "
+        "share the page's lifetime inside one process"
+    ),
+    "repro.pipeline.stages.GroupingStage.encode": (
+        "identity lookup encodes each section as its deterministic "
+        "(page, section) index pair; ids never reach the payload"
+    ),
+}

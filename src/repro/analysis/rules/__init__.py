@@ -3,6 +3,11 @@
 Rules run in the order listed here; the order is part of the engine's
 determinism contract (findings are sorted afterwards, so the order only
 matters for reproducible internals, not output).
+
+Two registries: :func:`default_rules` holds the per-file rules,
+:func:`flow_rules` (re-exported from :mod:`repro.analysis.flow`) holds
+the whole-program rules, and :func:`all_rules` is the union the CLI and
+CI run by default.
 """
 
 from __future__ import annotations
@@ -10,6 +15,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis.engine import Rule
+from repro.analysis.flow.rules import flow_rules
 from repro.analysis.rules.config_threading import ConfigThreadingRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.hygiene import ApiHygieneRule
@@ -24,12 +30,14 @@ __all__ = [
     "KernelPurityRule",
     "ObserverThreadingRule",
     "TypingGateRule",
+    "all_rules",
     "default_rules",
+    "flow_rules",
 ]
 
 
 def default_rules() -> List[Rule]:
-    """Fresh instances of every registered rule, in registry order."""
+    """Fresh instances of every registered per-file rule, in order."""
     return [
         DeterminismRule(),
         KernelPurityRule(),
@@ -38,3 +46,8 @@ def default_rules() -> List[Rule]:
         ConfigThreadingRule(),
         TypingGateRule(),
     ]
+
+
+def all_rules() -> List[object]:
+    """Every registered rule of both kinds: per-file, then flow."""
+    return [*default_rules(), *flow_rules()]

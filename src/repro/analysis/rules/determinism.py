@@ -8,18 +8,23 @@ reads, ``id()``-derived values (process-dependent), and direct
 iteration over unordered sets.
 
 Process-local memo keys that never cross a process boundary are the one
-sanctioned exception; they carry an inline ``# lint: allow DET01``
-pragma with a reason.
+sanctioned exception.  They used to carry per-line ``# lint: allow
+DET01`` pragmas; they are now registered centrally, per enclosing
+function, in :data:`repro.analysis.registry.IDENTITY_KEY_FUNCTIONS` —
+one catalogued justification instead of a pragma per call site, and the
+flow analysis (MP01) independently proves the caches the keys feed
+never cross a fork.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Set
+from typing import Dict, Iterator, Set
 
 from repro.analysis.astutil import GATED_PACKAGES, call_name, dotted_name
 from repro.analysis.engine import ModuleContext, Rule
 from repro.analysis.findings import Finding
+from repro.analysis.registry import IDENTITY_KEY_FUNCTIONS
 
 #: module imports that pull process state into scoring code
 _BANNED_IMPORTS: Set[str] = {"random", "time", "datetime", "uuid", "secrets"}
@@ -29,6 +34,30 @@ _BANNED_ATTRS = ("os.environ",)
 
 #: calls that return unordered collections
 _SET_CONSTRUCTORS: Set[str] = {"set", "frozenset"}
+
+
+def _owner_map(ctx: ModuleContext) -> Dict[int, str]:
+    """``id(ast node) -> enclosing top-level function qualname``.
+
+    Nested defs fold into their top-level owner, matching the flow
+    model's unit of analysis (and how the registry names functions).
+    """
+    owners: Dict[int, str] = {}
+    if ctx.module is None:
+        return owners
+
+    def claim(node: ast.AST, qualname: str) -> None:
+        for child in ast.walk(node):
+            owners[id(child)] = qualname
+
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            claim(stmt, f"{ctx.module}.{stmt.name}")
+        elif isinstance(stmt, ast.ClassDef):
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    claim(item, f"{ctx.module}.{stmt.name}.{item.name}")
+    return owners
 
 
 def _is_unordered_set(node: ast.AST) -> bool:
@@ -50,6 +79,7 @@ class DeterminismRule(Rule):
     scope = GATED_PACKAGES
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        owners = _owner_map(ctx)
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -78,6 +108,8 @@ class DeterminismRule(Rule):
                     )
             elif isinstance(node, ast.Call):
                 if call_name(node) == "id":
+                    if owners.get(id(node)) in IDENTITY_KEY_FUNCTIONS:
+                        continue
                     yield ctx.finding(
                         node,
                         self.rule_id,

@@ -240,10 +240,10 @@ def _section_dinr_key(
             if isinstance(child, Element):
                 children.append(node_key(child))
             else:
-                line = leaf_line.get(id(child))  # lint: allow DET01 -- page-local identity key, never crosses a process
+                line = leaf_line.get(id(child))
                 if line is not None:
                     children.append(line - start)
-        own = leaf_line.get(id(node))  # lint: allow DET01 -- page-local identity key, never crosses a process
+        own = leaf_line.get(id(node))
         return (
             node.tag,
             -1 if own is None else own - start,

@@ -52,7 +52,7 @@ class Block:
         )
 
     def __hash__(self) -> int:
-        return hash((id(self.page), self.start, self.end))  # lint: allow DET01 -- hashes are process-local by definition
+        return hash((id(self.page), self.start, self.end))
 
     def __repr__(self) -> str:
         return f"Block[{self.start}..{self.end}]"

@@ -194,8 +194,8 @@ class RecordDistanceCache:
 
     def distance(self, block1: Block, block2: Block) -> float:
         """Drec with memoization (symmetric)."""
-        key1 = (id(block1.page), block1.start, block1.end)  # lint: allow DET01 -- process-local memo key; caches never cross processes
-        key2 = (id(block2.page), block2.start, block2.end)  # lint: allow DET01 -- process-local memo key; caches never cross processes
+        key1 = (id(block1.page), block1.start, block1.end)
+        key2 = (id(block2.page), block2.start, block2.end)
         key = (key1, key2) if key1 <= key2 else (key2, key1)
         found = self._cache.get(key)
         if found is None:
@@ -208,7 +208,7 @@ class RecordDistanceCache:
 
     def diversity(self, block: Block) -> float:
         """Div(r) (Formula 6) with memoization by the block's line span."""
-        key = (id(block.page), block.start, block.end)  # lint: allow DET01 -- process-local memo key; caches never cross processes
+        key = (id(block.page), block.start, block.end)
         found = self._diversity.get(key)
         if found is None:
             self.diversity_misses += 1

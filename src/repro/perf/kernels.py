@@ -59,7 +59,7 @@ class PairMemo:
         """Canonical key for the pair plus the memoized value, if any."""
         # Canonical order by object identity: valid because signatures
         # are interned (equal => identical) and the memo is process-local.
-        key = (sig1, sig2) if id(sig1) <= id(sig2) else (sig2, sig1)  # lint: allow DET01 -- process-local memo key
+        key = (sig1, sig2) if id(sig1) <= id(sig2) else (sig2, sig1)
         found = self._table.get(key)
         if found is None:
             self.misses += 1

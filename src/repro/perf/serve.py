@@ -106,7 +106,7 @@ def _dom_span(
     stack: List[Node] = [root]
     while stack:
         node = stack.pop()
-        found = leaf_line.get(id(node))  # lint: allow DET01 -- page-local identity key, never crosses a process
+        found = leaf_line.get(id(node))
         if found is not None:
             lo = found
             break
@@ -122,7 +122,7 @@ def _dom_span(
             back.append((node, True))  # the element itself, after its subtree
             back.extend((child, False) for child in node.children)
             continue
-        found = leaf_line.get(id(node))  # lint: allow DET01 -- page-local identity key, never crosses a process
+        found = leaf_line.get(id(node))
         if found is not None:
             hi = found
             break
@@ -183,7 +183,7 @@ class PageIndex:
         typically a few nodes each — rather than walking the subtree.
         """
         spans = self._spans
-        key = id(element)  # lint: allow DET01 -- page-local identity key, never crosses a process
+        key = id(element)
         found = spans.get(key, _UNKNOWN_SPAN)
         if found is _UNKNOWN_SPAN:
             found = spans[key] = _dom_span(element, self.page.leaf_line_map())

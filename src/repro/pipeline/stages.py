@@ -395,10 +395,10 @@ class GroupingStage(BarrierStage):
         indexed: Dict[int, Tuple[int, int]] = {}
         for page_index, sections in enumerate(ctx.sections_per_page):
             for section_index, section in enumerate(sections):
-                indexed[id(section)] = (page_index, section_index)  # lint: allow DET01 -- process-local identity lookup, encoded value is the deterministic index pair
+                indexed[id(section)] = (page_index, section_index)
         groups = cast(List[InstanceGroup], ctx.artifacts["groups"])
         return [
-            [list(indexed[id(instance)]) for _, instance in group.members]  # lint: allow DET01 -- process-local identity lookup
+            [list(indexed[id(instance)]) for _, instance in group.members]
             for group in groups
         ]
 

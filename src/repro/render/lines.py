@@ -65,7 +65,7 @@ class RenderedPage:
         self.document = document
         self.lines: List[ContentLine] = list(lines)
         self._leaf_to_line: Dict[int, int] = {}
-        for line in self.lines:
+        for line in self.lines:  # lint: allow PERF01 -- one-pass leaf->line map build, linear in page leaves; this map is what lets PageIndex fold spans without re-walking subtrees
             for leaf in line.leaves:
                 self._leaf_to_line[id(leaf)] = line.number
 
