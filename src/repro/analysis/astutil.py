@@ -6,7 +6,9 @@ import ast
 from typing import Iterator, List, Optional, Tuple
 
 #: the packages whose determinism/purity/typing the perf + parallel
-#: layers depend on (see DESIGN.md "Static analysis")
+#: layers depend on (see DESIGN.md "Static analysis"); matching is by
+#: prefix, so subpackages ride along (repro.perf covers
+#: repro.perf.serve and repro.perf.server, the warm worker pool)
 GATED_PACKAGES: Tuple[str, ...] = (
     "repro.core",
     "repro.features",

@@ -41,6 +41,7 @@ from repro.analysis.flow.model import (
     ProjectModel,
     _chain_of,
 )
+from repro.analysis.registry import POOL_WORKER_ENTRYPOINTS
 
 #: purity lattice values, ordered
 PURE = "pure"
@@ -363,6 +364,15 @@ def build_call_graph(project: ProjectModel) -> CallGraph:
                     resolved.qualname,
                     f"{function.qualname} via {dispatch.via}",
                 )
+
+    # Declared entry points ride on top of the structural discovery:
+    # a Process target constructed behind a factory handle (a
+    # ``get_context()`` object) resolves dynamically, so the registry
+    # pins those workers explicitly — MP01 coverage survives refactors
+    # of the construction site.
+    for qualname, reason in POOL_WORKER_ENTRYPOINTS.items():
+        if qualname in project.functions:
+            graph.worker_entries.setdefault(qualname, f"registry: {reason}")
 
     _compute_purity(graph)
     return graph

@@ -86,12 +86,13 @@ class MutationSite:
 class PoolDispatch:
     """One pool fan-out: a callable shipped to worker processes."""
 
-    #: the expression of the worker callable (first positional arg or
-    #: the ``initializer=`` keyword)
+    #: the expression of the worker callable (first positional arg, the
+    #: ``initializer=`` keyword, or a ``Process(target=...)`` keyword)
     callable_expr: ast.expr
-    #: the payload expression (the iterable / ``initargs``), if any
+    #: the payload expression (the iterable / ``initargs`` / ``args``)
     payload_expr: Optional[ast.expr]
-    #: dispatch method name (``imap_unordered``, …) or ``initializer``
+    #: dispatch method name (``imap_unordered``, …), ``initializer``,
+    #: or ``Process`` for a long-lived worker construction
     via: str
     node: ast.AST
 
@@ -467,10 +468,28 @@ def _collect_loop_nests(info: FunctionInfo) -> None:
     walk(info.node, False)
 
 
-def _find_pool_dispatches(info: FunctionInfo, pool_chains: Set[str]) -> None:
+def _find_pool_dispatches(
+    info: FunctionInfo, pool_chains: Set[str], process_chains: Set[str]
+) -> None:
     """Mark pool construction and record dispatch sites."""
     local_pools: Set[str] = set()
     for chain, call in info.calls:
+        # A bare multiprocessing.Process(target=..., args=...) is a
+        # dispatch too: the target runs in a worker, the args cross the
+        # pickle boundary.  Contexts hide the module behind a handle
+        # (ctx.Process), so any ``*.Process(target=...)`` call counts.
+        if chain in process_chains or chain.rsplit(".", 1)[-1] == "Process":
+            target_expr: Optional[ast.expr] = None
+            args_expr: Optional[ast.expr] = None
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    target_expr = keyword.value
+                elif keyword.arg == "args":
+                    args_expr = keyword.value
+            if target_expr is not None:
+                info.pool_dispatches.append(
+                    PoolDispatch(target_expr, args_expr, "Process", call)
+                )
         if chain in pool_chains:
             info.creates_pool = True
             for keyword in call.keywords:
@@ -520,6 +539,7 @@ def _build_function(
     module: ModuleInfo,
     class_info: Optional[ClassInfo],
     pool_chains: Set[str],
+    process_chains: Set[str],
 ) -> FunctionInfo:
     name = getattr(node, "name", "<lambda>")
     if class_info is not None:
@@ -551,7 +571,7 @@ def _build_function(
     for child in getattr(node, "body", []):
         visitor.visit(child)
     _collect_loop_nests(info)
-    _find_pool_dispatches(info, pool_chains)
+    _find_pool_dispatches(info, pool_chains, process_chains)
     return info
 
 
@@ -598,6 +618,23 @@ def _pool_chains(module: ModuleInfo) -> Set[str]:
         if target == "multiprocessing.pool":
             chains.add(f"{alias}.Pool")
     chains.add("multiprocessing.Pool")
+    return chains
+
+
+def _process_chains(module: ModuleInfo) -> Set[str]:
+    """Chains that denote ``multiprocessing.Process`` in this module."""
+    chains: Set[str] = set()
+    for alias, target in module.imports.items():
+        if target == "multiprocessing":
+            chains.add(f"{alias}.Process")
+        if target in (
+            "multiprocessing.Process",
+            "multiprocessing.process.Process",
+        ):
+            chains.add(alias)
+        if target == "multiprocessing.process":
+            chains.add(f"{alias}.Process")
+    chains.add("multiprocessing.Process")
     return chains
 
 
@@ -653,10 +690,11 @@ def build_module_info(ctx: ModuleContext) -> ModuleInfo:
     module = ModuleInfo(name=name, path=ctx.path, context=ctx)
     module.imports = _module_imports(ctx.tree, name)
     pool_chains = _pool_chains(module)
+    process_chains = _process_chains(module)
 
     for node in ctx.tree.body:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            info = _build_function(node, module, None, pool_chains)
+            info = _build_function(node, module, None, pool_chains, process_chains)
             module.functions[info.name] = info
         elif isinstance(node, ast.ClassDef):
             class_info = ClassInfo(
@@ -674,7 +712,9 @@ def build_module_info(ctx: ModuleContext) -> ModuleInfo:
             )
             for child in node.body:
                 if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    method = _build_function(child, module, class_info, pool_chains)
+                    method = _build_function(
+                        child, module, class_info, pool_chains, process_chains
+                    )
                     class_info.methods[method.name] = method
             module.classes[node.name] = class_info
         elif isinstance(node, (ast.Assign, ast.AnnAssign)):

@@ -13,6 +13,13 @@ registry replaces them with explicit, *reviewed* classification:
   — it can never disagree with the parent.  Anything mutable mutated on
   a worker path and *not* listed here is a fork-safety finding.
 
+- :data:`POOL_WORKER_ENTRYPOINTS` names the functions that run inside
+  worker processes.  The flow model also discovers entries structurally
+  from dispatch sites; the declared list is the safety net for targets
+  shipped through dynamically-resolved handles (a ``get_context()``
+  Process factory), and seeds :func:`repro.analysis.flow.callgraph
+  .build_call_graph`'s ``worker_entries``.
+
 - :data:`IDENTITY_KEY_FUNCTIONS` names the functions allowed to derive
   ``id()``-based memo keys (DET01's one sanctioned exception).  Keys
   built from object identity are process-dependent by construction;
@@ -62,9 +69,27 @@ PROCESS_LOCAL_MEMOS: Dict[str, str] = {
         "intern table for signature tuples; idempotent fill, interned "
         "objects are compared by value at every boundary"
     ),
-    "repro.perf.serve._WORKER_WRAPPERS": (
-        "per-worker compiled wrappers installed by the pool initializer "
-        "before any task runs; each process serves from its own copy"
+}
+
+#: declared pool/process worker entry points: qualified name -> how the
+#: function reaches a worker process.  The flow model discovers entries
+#: structurally (Pool dispatch methods, ``Process(target=...)``), but a
+#: target constructed behind a factory handle (``ctx.Process`` from
+#: ``multiprocessing.get_context()``) resolves dynamically; declaring it
+#: here guarantees MP01 fork-safety coverage cannot silently lapse when
+#: the construction site is refactored.
+POOL_WORKER_ENTRYPOINTS: Dict[str, str] = {
+    "repro.perf.server._worker_main": (
+        "Server._spawn ships it via ctx.Process(target=...): the "
+        "resident worker loop that compiles, primes and serves chunks"
+    ),
+    "repro.perf.server._prime_worker": (
+        "runs inside _worker_main before the first chunk: warms the "
+        "process-local kernel memos over the priming pages"
+    ),
+    "repro.perf.server._run_chunk": (
+        "per-chunk serve/extract payload executed inside the resident "
+        "worker loop"
     ),
 }
 

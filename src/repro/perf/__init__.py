@@ -17,7 +17,11 @@ implementations:
 - :mod:`repro.perf.serve` — the *extraction* hot path: compiled engine
   wrappers (one merged tagpath automaton per engine, precompiled marker
   tables), the shared per-page line/span index, and the batch
-  ``extract_many`` entry point behind ``python -m repro serve``.
+  ``extract_many`` entry point behind ``python -m repro serve``;
+- :mod:`repro.perf.server` — the warm persistent worker pool:
+  :class:`~repro.perf.server.Server` spawns compiled-serving workers
+  once, primes their per-process memos over representative pages, and
+  amortizes IPC with auto-sized task chunks across repeated batches.
 
 See the "Performance" section of DESIGN.md for how the layers fit, and
 ``benchmarks/bench_kernels.py`` / ``benchmarks/bench_serve.py`` for the
@@ -69,12 +73,19 @@ _SERVE_EXPORTS = frozenset(
     }
 )
 
+#: names resolved lazily from repro.perf.server (same cycle reasoning)
+_SERVER_EXPORTS = frozenset({"Server", "auto_chunksize"})
+
 
 def __getattr__(name: str) -> Any:
     if name in _SERVE_EXPORTS:
         from repro.perf import serve
 
         return getattr(serve, name)
+    if name in _SERVER_EXPORTS:
+        from repro.perf import server
+
+        return getattr(server, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [  # lint: allow API01 -- serve names resolve lazily via module __getattr__ (PEP 562)
@@ -91,10 +102,12 @@ __all__ = [  # lint: allow API01 -- serve names resolve lazily via module __geta
     "PageIndex",
     "PairMemo",
     "ServedPage",
+    "Server",
     "SignedTree",
     "TagPathAutomaton",
     "TextInterner",
     "TupleInterner",
+    "auto_chunksize",
     "block_fingerprint",
     "build_page_index",
     "clear_kernel_caches",

@@ -48,7 +48,6 @@ between.
 
 from __future__ import annotations
 
-import multiprocessing
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
@@ -752,27 +751,6 @@ def compile_wrapper(engine: EngineWrapper) -> CompiledWrapper:
 # Batch serving
 # ---------------------------------------------------------------------------
 
-#: per-worker compiled wrappers, installed by the pool initializer
-_WORKER_WRAPPERS: List[CompiledWrapper] = []
-
-#: (page position, markup, query, wrapper ids to apply)
-_ServeTask = Tuple[int, str, str, Tuple[int, ...]]
-
-
-def _init_serve_worker(engines: List[EngineWrapper]) -> None:
-    """Compile every engine once per worker process."""
-    _WORKER_WRAPPERS.clear()
-    _WORKER_WRAPPERS.extend(CompiledWrapper(engine) for engine in engines)
-
-
-def _serve_worker(task: _ServeTask) -> Tuple[int, List[PageExtraction]]:
-    position, markup, query, wrapper_ids = task
-    index = build_page_index(markup, query)
-    return position, [
-        _WORKER_WRAPPERS[wrapper_id].extract_index(index)
-        for wrapper_id in wrapper_ids
-    ]
-
 
 def extract_many(
     pages: Sequence[Tuple[str, str]],
@@ -780,6 +758,7 @@ def extract_many(
     jobs: int = 1,
     wrapper_of: Optional[Sequence[int]] = None,
     obs: ObserverLike = NULL_OBSERVER,
+    chunksize: Optional[int] = None,
 ) -> List[List[PageExtraction]]:
     """Batch extraction: render each page once, apply many wrappers.
 
@@ -791,20 +770,28 @@ def extract_many(
     one list of :class:`PageExtraction` per page, aligned with the
     applied wrapper order; results are deterministic and independent of
     ``jobs`` (asserted corpus-wide in the serve tests).
+
+    ``jobs <= 1`` (or a single page) runs the in-process loop and never
+    touches ``multiprocessing``.  Larger ``jobs`` delegate to a
+    temporary :class:`repro.perf.server.Server` — a compatibility shim
+    for one-shot callers.  The pool is torn down on return, so its
+    workers start cold; a caller serving repeated batches should hold a
+    ``Server`` (with priming pages) open instead.
     """
     if wrapper_of is not None and len(wrapper_of) != len(pages):
         raise ValueError("wrapper_of must assign one wrapper per page")
-    if wrapper_of is None:
-        everyone = tuple(range(len(wrappers)))
-        assignments: List[Tuple[int, ...]] = [everyone] * len(pages)
-    else:
+    if wrapper_of is not None:
         for wrapper_id in wrapper_of:
             if not 0 <= wrapper_id < len(wrappers):
                 raise ValueError(f"wrapper_of index {wrapper_id} out of range")
-        assignments = [(wrapper_id,) for wrapper_id in wrapper_of]
 
     with obs.span("extract_many"):
         if jobs <= 1 or len(pages) <= 1:
+            if wrapper_of is None:
+                everyone = tuple(range(len(wrappers)))
+                assignments: List[Tuple[int, ...]] = [everyone] * len(pages)
+            else:
+                assignments = [(wrapper_id,) for wrapper_id in wrapper_of]
             compiled = [
                 wrapper
                 if isinstance(wrapper, CompiledWrapper)
@@ -823,29 +810,13 @@ def extract_many(
             obs.count("serve.pages", len(serial))
             return serial
 
-        engines = [
-            wrapper.engine if isinstance(wrapper, CompiledWrapper) else wrapper
-            for wrapper in wrappers
-        ]
-        tasks: List[_ServeTask] = [
-            (position, markup, query, wrapper_ids)
-            for position, ((markup, query), wrapper_ids) in enumerate(
-                zip(pages, assignments)
-            )
-        ]
-        slots: List[Optional[List[PageExtraction]]] = [None] * len(tasks)
-        with multiprocessing.Pool(
-            processes=min(jobs, len(tasks)),
-            initializer=_init_serve_worker,
-            initargs=(engines,),
-        ) as pool:
-            for position, extractions in pool.imap_unordered(
-                _serve_worker, tasks
-            ):
-                slots[position] = extractions
-        obs.count("serve.pages", len(slots))
-        results: List[List[PageExtraction]] = []
-        for slot in slots:
-            assert slot is not None  # every task reports exactly once
-            results.append(slot)
-        return results
+        # Imported here: repro.perf.server imports this module.
+        from repro.perf.server import Server
+
+        with Server(
+            wrappers,
+            jobs=min(jobs, len(pages)),
+            chunksize=chunksize,
+            obs=obs,
+        ) as server:
+            return server.extract(pages, wrapper_of=wrapper_of)

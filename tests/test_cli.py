@@ -110,6 +110,30 @@ class TestExtract:
         assert all("seconds" in entry for entry in payload)
         assert all(entry["sections"] for entry in payload)
 
+    def test_extract_jobs_matches_serial(self, workspace, capsys):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        page_args = [
+            f"{workspace['new_page']}:{workspace['new_query']}",
+            *workspace["samples"][:2],
+        ]
+        assert main(
+            ["extract", "--json", "-w", workspace["wrapper"], *page_args]
+        ) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(
+            ["extract", "--json", "-w", workspace["wrapper"],
+             "--jobs", "2", "--chunksize", "1", *page_args]
+        ) == 0
+        pooled = json.loads(capsys.readouterr().out)
+        strip = lambda payload: [
+            {k: entry[k] for k in ("page", "query", "sections")}
+            for entry in payload
+        ]
+        assert strip(serial) == strip(pooled)
+        # batch mode has no per-page wall-clock timing
+        assert all("seconds" not in entry for entry in pooled)
+
     def test_extract_multiple_pages_text_headers(self, workspace, capsys):
         main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
         capsys.readouterr()
@@ -181,6 +205,40 @@ class TestServe:
             for entry in doc["pages"]
         ]
         assert strip(a) == strip(b)
+        # the pooled report documents the warm pool it ran on
+        assert b["pool"]["workers"] == 2
+        assert b["pool"]["restarts"] == 0
+        assert b["pool"]["chunksize"] >= 1
+        assert "pool" not in a
+
+    def test_serve_chunksize_flag_matches_serial(
+        self, workspace, tmp_path, capsys
+    ):
+        main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])
+        capsys.readouterr()
+        serial = tmp_path / "serial2.json"
+        chunked = tmp_path / "chunked.json"
+        page_args = [
+            f"{workspace['new_page']}:{workspace['new_query']}",
+            *workspace["samples"][:3],
+        ]
+        assert main(
+            ["serve", "-w", workspace["wrapper"], "--json", str(serial),
+             "--pages", *page_args]
+        ) == 0
+        assert main(
+            ["serve", "-w", workspace["wrapper"], "--json", str(chunked),
+             "--jobs", "2", "--chunksize", "1", "--pages", *page_args]
+        ) == 0
+        capsys.readouterr()
+        a = json.loads(serial.read_text())
+        b = json.loads(chunked.read_text())
+        strip = lambda doc: [
+            {k: entry[k] for k in ("page", "sections", "records")}
+            for entry in doc["pages"]
+        ]
+        assert strip(a) == strip(b)
+        assert b["pool"]["chunksize"] == 1
 
     def test_serve_without_pages_fails(self, workspace, capsys):
         main(["induce", "-o", workspace["wrapper"], *workspace["samples"]])

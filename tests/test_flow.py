@@ -236,6 +236,45 @@ def test_mp01_initializer_is_a_worker_entry(tmp_path):
     assert "repro.pipeline.init.STATE" in findings[0].message
 
 
+def test_mp01_process_target_is_a_worker_entry(tmp_path):
+    # a long-lived Process (the Server pool shape) is a dispatch too,
+    # even when constructed through a get_context() factory handle
+    path = write_module(
+        tmp_path,
+        "repro/pipeline/proc.py",
+        """\
+        import multiprocessing
+
+        SEEN = {}
+
+        def _loop(tasks):
+            for task in tasks:
+                SEEN[task] = task
+
+        def spawn(tasks):
+            ctx = multiprocessing.get_context()
+            proc = ctx.Process(target=_loop, args=(tasks,))
+            proc.start()
+            return proc
+        """,
+    )
+    findings = analyze_paths([str(path)], [ForkSafetyRule(allowlist={})])
+    assert rules_of(findings) == {"MP01"}
+    assert "repro.pipeline.proc.SEEN" in findings[0].message
+
+
+def test_registry_entrypoints_seed_worker_entries():
+    # the Server worker entry points are declared in the registry; the
+    # call graph must treat them as worker entries even though the
+    # Process construction site could stop resolving statically
+    from repro.analysis.registry import POOL_WORKER_ENTRYPOINTS
+
+    graph = build_call_graph(build_project_model(project_of(SRC_REPRO).modules))
+    for qualname in POOL_WORKER_ENTRYPOINTS:
+        assert qualname in graph.worker_entries, qualname
+    assert "repro.perf.server._worker_main" in graph.worker_entries
+
+
 # ---------------------------------------------------------------------------
 # MP02 payload pickle safety
 # ---------------------------------------------------------------------------
@@ -289,6 +328,24 @@ def test_mp02_lock_in_payload(tmp_path):
     findings = analyze_paths([str(path)], [PickleSafetyRule()])
     assert rules_of(findings) == {"MP02"}
     assert "'Lock(...)'" in findings[0].message
+
+
+def test_mp02_process_target_lambda(tmp_path):
+    path = write_module(
+        tmp_path,
+        "repro/pipeline/pick.py",
+        """\
+        import multiprocessing
+
+        def spawn(q):
+            proc = multiprocessing.Process(target=lambda: None, args=(q,))
+            proc.start()
+            return proc
+        """,
+    )
+    findings = analyze_paths([str(path)], [PickleSafetyRule()])
+    assert rules_of(findings) == {"MP02"}
+    assert "lambda" in findings[0].message
 
 
 def test_mp02_clean_toplevel_worker_and_pragma(tmp_path):
@@ -470,7 +527,10 @@ def test_flow_rules_fire_on_real_memos_without_allowlist():
     globals_hit = {f.message.split("'")[1] for f in findings}
     assert "repro.perf.kernels.TREE_MEMO" in globals_hit
     assert "repro.perf.kernels.RECORD_MEMO" in globals_hit
-    assert "repro.perf.serve._WORKER_WRAPPERS" in globals_hit
+    # the persistent-Server worker path reaches the DINR health memo
+    # (priming runs serve_index); registry-declared entry points keep
+    # it covered even though the Process target ships via a context
+    assert "repro.perf.kernels.DINR_MEMO" in globals_hit
 
 
 def test_registry_replaces_det01_pragmas():
